@@ -1,0 +1,96 @@
+"""Experiment X3 — data-to-insight time over a whole exploration session.
+
+§1's headline problem: "current database technology has a long
+data-to-insight time". This bench plays the same exploration sequence
+(quick look → zooms → moves) through both worlds and compares:
+
+* data-to-insight = setup (ingestion) + first query answer,
+* total session time = setup + whole query sequence.
+
+Run: ``pytest benchmarks/bench_data_to_insight.py --benchmark-only -s``
+"""
+
+import time
+
+from repro.db import Database
+from repro.explore import ExplorationSession, random_exploration
+from repro.ingest import RepositoryBinding, eager_ingest, lazy_ingest_metadata
+from repro.core import TwoStageExecutor
+
+STEPS = 12
+
+
+def _exploration(env):
+    return random_exploration(
+        list(env.spec.stations),
+        list(env.spec.channels),
+        env.spec.start_day,
+        env.spec.days,
+        STEPS,
+        seed=42,
+    )
+
+
+def _run_session(engine, setup_seconds, steps):
+    session = ExplorationSession(engine, setup_seconds=setup_seconds)
+    for step in steps:
+        session.run(step.sql, note=step.kind.value)
+    return session
+
+
+def test_session_comparison(env, benchmark):
+    steps = _exploration(env)
+
+    def ei_world():
+        started = time.perf_counter()
+        ei = Database()
+        eager_ingest(ei, env.repository)
+        ei_setup = time.perf_counter() - started
+        return _run_session(ei, ei_setup, steps)
+
+    ei_session = benchmark.pedantic(ei_world, rounds=1, iterations=1)
+
+    started = time.perf_counter()
+    ali = Database()
+    lazy_ingest_metadata(ali, env.repository)
+    ali_setup = time.perf_counter() - started
+    executor = TwoStageExecutor(ali, RepositoryBinding(env.repository))
+    ali_session = _run_session(executor, ali_setup, steps)
+
+    print()
+    print(f"{'':14} {'Ei':>10} {'ALi':>10}")
+    print(
+        f"{'setup':14} {ei_session.setup_seconds:>10.3f} "
+        f"{ali_session.setup_seconds:>10.3f}"
+    )
+    print(
+        f"{'1st insight':14} {ei_session.data_to_insight_seconds:>10.3f} "
+        f"{ali_session.data_to_insight_seconds:>10.3f}"
+    )
+    print(
+        f"{'whole session':14} {ei_session.total_seconds:>10.3f} "
+        f"{ali_session.total_seconds:>10.3f}"
+    )
+
+    # The paper's point: the first insight arrives much earlier with ALi.
+    assert (
+        ali_session.data_to_insight_seconds
+        < ei_session.data_to_insight_seconds
+    )
+
+
+def test_ei_session_queries_only(env, benchmark):
+    steps = _exploration(env)
+    benchmark.pedantic(
+        lambda: _run_session(env.ei, 0.0, steps), rounds=2, iterations=1
+    )
+
+
+def test_ali_session_queries_only(env, benchmark):
+    steps = _exploration(env)
+
+    def run():
+        executor = env.fresh_executor()
+        return _run_session(executor, 0.0, steps)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

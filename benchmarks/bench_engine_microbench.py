@@ -1,0 +1,70 @@
+"""Engine micro-benchmarks: the substrate costs behind the experiments.
+
+Not a paper artifact, but the knobs EXPERIMENTS.md cites when explaining
+where time goes: Steim codec throughput, header-only scan vs full parse,
+hash-join and aggregation kernels.
+
+Run: ``pytest benchmarks/bench_engine_microbench.py --benchmark-only -s``
+"""
+
+import numpy as np
+import pytest
+
+from repro.ingest import default_registry
+from repro.mseed import scan_headers, steim_decode, steim_encode
+from repro.mseed.volume import read_records
+
+
+@pytest.fixture(scope="module")
+def waveform():
+    rng = np.random.default_rng(0)
+    return np.cumsum(rng.integers(-8, 8, 500_000)).astype(np.int32)
+
+
+def test_steim_encode(benchmark, waveform):
+    payload = benchmark(steim_encode, waveform)
+    ratio = waveform.nbytes / len(payload)
+    print(f"\ncompression ratio {ratio:.2f}x on AR noise")
+
+
+def test_steim_decode(benchmark, waveform):
+    payload = steim_encode(waveform)
+    decoded = benchmark(steim_decode, payload, len(waveform))
+    assert np.array_equal(decoded, waveform)
+
+
+def test_header_scan_vs_full_parse(env, benchmark):
+    """The asymmetry ALi exploits: headers are ~100x cheaper than payloads."""
+    uri = env.repository.uris()[0]
+    path = env.repository.path_of(uri)
+    benchmark(scan_headers, path)
+
+
+def test_full_parse(env, benchmark):
+    uri = env.repository.uris()[0]
+    path = env.repository.path_of(uri)
+    benchmark(read_records, path)
+
+
+def test_mount_one_file(env, benchmark):
+    uri = env.repository.uris()[0]
+    path = env.repository.path_of(uri)
+    extractor = default_registry().for_path(path)
+    benchmark(extractor.mount, path, uri)
+
+
+def test_hash_join_kernel(env, benchmark):
+    """R ⋈ D style join over the eagerly loaded database (hot)."""
+    env.ei.warm_all()
+    sql = (
+        "SELECT COUNT(*) FROM R JOIN D "
+        "ON R.uri = D.uri AND R.record_id = D.record_id "
+        "WHERE R.record_id = 0"
+    )
+    benchmark.pedantic(lambda: env.ei.execute(sql), rounds=3, iterations=1)
+
+
+def test_aggregation_kernel(env, benchmark):
+    env.ei.warm_all()
+    sql = "SELECT uri, AVG(sample_value) FROM D GROUP BY uri"
+    benchmark.pedantic(lambda: env.ei.execute(sql), rounds=3, iterations=1)

@@ -1,0 +1,79 @@
+"""Experiment F3 — the paper's Figure 3: "Querying N files".
+
+Eight bars: {Query 1, Query 2} × {Ei, ALi} × {COLD, HOT}. Cold runs flush
+every buffer first (the paper restarts the server); hot runs pre-load
+buffers by executing the same query beforehand. Reported seconds are wall
+CPU plus simulated disk time (see DESIGN.md's disk-model substitution).
+
+Run: ``pytest benchmarks/bench_figure3_querying.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.harness import render_figure3, run_figure3
+from repro.harness.experiments import _execute_seconds
+from repro.harness.reporting import render_figure3_chart
+
+
+def _cold_setup(engine):
+    def setup():
+        db = engine.db if hasattr(engine, "db") else engine
+        db.make_cold()
+        return (), {}
+
+    return setup
+
+
+def _bench_query(benchmark, engine, sql, state):
+    if state == "COLD":
+        benchmark.pedantic(
+            lambda: _execute_seconds(engine, sql),
+            setup=_cold_setup(engine),
+            rounds=3,
+            iterations=1,
+        )
+    else:
+        _execute_seconds(engine, sql)  # warm-up
+        benchmark.pedantic(
+            lambda: _execute_seconds(engine, sql), rounds=3, iterations=1
+        )
+
+
+@pytest.mark.parametrize("state", ["COLD", "HOT"])
+@pytest.mark.parametrize("query_name", ["query1", "query2"])
+def test_ei(env, benchmark, query_name, state):
+    sql = getattr(env.queries, query_name)
+    _bench_query(benchmark, env.ei, sql, state)
+
+
+@pytest.mark.parametrize("state", ["COLD", "HOT"])
+@pytest.mark.parametrize("query_name", ["query1", "query2"])
+def test_ali(env, benchmark, query_name, state):
+    sql = getattr(env.queries, query_name)
+    _bench_query(benchmark, env.fresh_executor(), sql, state)
+
+
+def test_figure3_report(env, benchmark):
+    """Print the full figure and assert the paper's qualitative claims."""
+    entries = benchmark.pedantic(run_figure3, args=(env,), kwargs={"runs": 3}, rounds=1, iterations=1)
+    print()
+    print(render_figure3(entries, len(env.repository)))
+    print()
+    print(render_figure3_chart(entries, len(env.repository)))
+    by_key = {(e.query, e.system, e.state): e.seconds for e in entries}
+    # "For cold runs, ALi definitely outperforms Ei for both queries."
+    assert by_key[("Query 1", "ALi", "COLD")] < by_key[("Query 1", "Ei", "COLD")]
+    assert by_key[("Query 2", "ALi", "COLD")] < by_key[("Query 2", "Ei", "COLD")]
+    # The hot-run shape (ALi ahead on Query 1, roughly parity-or-behind on
+    # Query 2 because its data of interest is much larger) depends on the
+    # Ei scan cost exceeding a single file's mount cost — it only holds at
+    # the documented headline scale, not on toy repositories.
+    if len(env.repository) >= 100:
+        q1_ratio = (
+            by_key[("Query 1", "Ei", "HOT")] / by_key[("Query 1", "ALi", "HOT")]
+        )
+        q2_ratio = (
+            by_key[("Query 2", "Ei", "HOT")] / by_key[("Query 2", "ALi", "HOT")]
+        )
+        assert q1_ratio > 1.0
+        assert q2_ratio < 2.0

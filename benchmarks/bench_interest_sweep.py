@@ -1,0 +1,71 @@
+"""Experiment X2 — query time versus size of the data of interest.
+
+§4: "query performance of ALi is dependent on the size of data of interest.
+Intuitively, the best case is that the first stage yields an empty set of
+files of interest … The worst case is that the data of interest is the
+entire repository, where then the performance becomes similar to the
+loading of Ei."
+
+Run: ``pytest benchmarks/bench_interest_sweep.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.explore.workload import sweep_queries
+from repro.harness.experiments import interest_sweep
+from repro.harness.reporting import render_sweep
+
+FRACTIONS = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+def _queries(env, fractions):
+    return sweep_queries(
+        list(env.spec.stations),
+        list(env.spec.channels),
+        env.spec.start_day,
+        f"{env.spec.start_day}T10:00:00",
+        f"{env.spec.start_day}T11:00:00",
+        fractions=fractions,
+        days=env.spec.days,  # fraction 1.0 = the entire repository
+    )
+
+
+def test_sweep_report(env, benchmark):
+    entries = benchmark.pedantic(
+        interest_sweep, args=(env, _queries(env, FRACTIONS)), rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_sweep(entries))
+    # Monotone growth in files touched, and the best case is the cheapest.
+    files = [e.files_of_interest for e in entries]
+    assert files == sorted(files)
+    assert entries[0].files_of_interest == 0
+    assert entries[-1].seconds > entries[0].seconds
+    if len(env.repository) >= 100:
+        # At the headline scale the worst case costs a large multiple of
+        # the best case (it converges toward Ei's full load, §4).
+        assert entries[-1].seconds > 5 * entries[0].seconds
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_query_at_fraction(env, benchmark, fraction):
+    ((_, sql),) = _queries(env, [fraction])
+    executor = env.fresh_executor()
+
+    def setup():
+        env.ali.make_cold()
+        return (), {}
+
+    benchmark.pedantic(
+        lambda: executor.execute(sql), setup=setup, rounds=2, iterations=1
+    )
+
+
+def test_best_case_empty_interest(env, benchmark):
+    """The empty-files-of-interest best case: no ingestion ever happens."""
+    ((_, sql),) = _queries(env, [0.0])
+    executor = env.fresh_executor()
+    outcome = executor.execute(sql)
+    assert outcome.breakpoint.n_files == 0
+    benchmark(lambda: executor.execute(sql))

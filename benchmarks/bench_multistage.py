@@ -1,0 +1,60 @@
+"""Experiment A4 — multi-stage execution (§5).
+
+Batched ingestion with re-estimation between batches: how quickly does the
+running estimate converge, and how much time does early stopping save on a
+whole-repository aggregate?
+
+Run: ``pytest benchmarks/bench_multistage.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.core import MultiStageExecutor
+
+WHOLE_REPO_AVG = "SELECT AVG(sample_value) FROM D"
+
+
+def test_full_multistage(small_env, benchmark):
+    executor = small_env.fresh_executor()
+    multi = MultiStageExecutor(executor, batch_files=4)
+    outcome = benchmark.pedantic(
+        lambda: multi.execute(WHOLE_REPO_AVG), rounds=1, iterations=1
+    )
+    assert outcome.converged
+
+
+@pytest.mark.parametrize("max_batches", [1, 2, 4])
+def test_early_stop(small_env, benchmark, max_batches):
+    executor = small_env.fresh_executor()
+    multi = MultiStageExecutor(
+        executor, batch_files=2, max_batches=max_batches
+    )
+    benchmark.pedantic(
+        lambda: multi.execute(WHOLE_REPO_AVG), rounds=1, iterations=1
+    )
+
+
+def test_convergence_trajectory(small_env, benchmark):
+    """Print the running estimate per batch and check it converges to the
+    exact answer."""
+    executor = small_env.fresh_executor()
+    multi = MultiStageExecutor(executor, batch_files=3)
+    outcome = benchmark.pedantic(
+        lambda: multi.execute(WHOLE_REPO_AVG), rounds=1, iterations=1
+    )
+    exact = small_env.ei.execute(WHOLE_REPO_AVG).scalar()
+    print(f"\nexact answer: {exact:.4f}")
+    errors = []
+    for snap in outcome.snapshots:
+        estimate = snap.running_rows[0][0]
+        error = abs(estimate - exact)
+        errors.append(error)
+        print(
+            f"  batch {snap.batch_index}: {snap.files_processed}/"
+            f"{snap.total_files} files, estimate {estimate:.4f} "
+            f"(|err| {error:.4f})"
+        )
+    assert errors[-1] == pytest.approx(0.0, abs=1e-9)
+    # The approximate answer after the first batch is already finite and in
+    # the right order of magnitude (signal is zero-mean noise + events).
+    assert errors[0] < max(abs(exact), 50.0) + 50.0

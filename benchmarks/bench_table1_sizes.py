@@ -1,0 +1,52 @@
+"""Experiment T1 — the paper's Table 1: "Dataset and sizes".
+
+Regenerates the records-per-table counts and the four storage footprints
+(mSEED repository, database without indexes, +keys, ALi metadata), and
+benchmarks the two up-front ingestion paths that produce them.
+
+Run: ``pytest benchmarks/bench_table1_sizes.py --benchmark-only -s``
+"""
+
+from repro.db import Database
+from repro.harness import render_table1, run_table1
+from repro.ingest import eager_ingest, lazy_ingest_metadata
+
+
+def test_table1_report(env, benchmark):
+    """Print the Table 1 row; the benchmarked body is the size accounting."""
+    row = benchmark(run_table1, env)
+    print()
+    print(render_table1(row))
+    # The paper's shape: decompressed DB storage dwarfs the compressed
+    # repository; ALi's metadata is orders of magnitude smaller than both.
+    assert row.monetdb_bytes > 2 * row.mseed_bytes
+    assert row.ali_bytes * 100 < row.monetdb_bytes + row.keys_bytes
+
+
+def test_eager_ingest_ei(env, benchmark):
+    """Ei's up-front cost: full parse + decompress + index build."""
+
+    def load():
+        db = Database()
+        return eager_ingest(db, env.repository)
+
+    report = benchmark.pedantic(load, rounds=1, iterations=1)
+    print(
+        f"\nEi load {report.load_seconds:.3f}s + indexes "
+        f"{report.index_seconds:.3f}s over {report.files} files / "
+        f"{report.samples:,} samples"
+    )
+
+
+def test_lazy_ingest_ali(env, benchmark):
+    """ALi's up-front cost: header-only metadata load."""
+
+    def load():
+        db = Database()
+        return lazy_ingest_metadata(db, env.repository)
+
+    report = benchmark.pedantic(load, rounds=3, iterations=1)
+    print(
+        f"\nALi metadata load {report.load_seconds:.3f}s over "
+        f"{report.files} files ({report.metadata_bytes:,} bytes loaded)"
+    )

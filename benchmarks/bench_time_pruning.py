@@ -1,0 +1,60 @@
+"""Experiment A5 — metadata time-span pruning ("extending metadata", §5).
+
+A query constraining only ``D.sample_time`` has no metadata predicate in
+``Qf``; without further exploitation every repository file would be of
+interest. Using the file-level time spans already sitting in ``F`` prunes
+the set to the files whose span overlaps the query window — pure metadata
+work that turns a worst-case query into a targeted one.
+
+Run: ``pytest benchmarks/bench_time_pruning.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.core import TwoStageExecutor
+from repro.db import Database
+from repro.ingest import RepositoryBinding, lazy_ingest_metadata
+
+
+def _window_sql(env, hours=1):
+    day = env.queries.day
+    return (
+        "SELECT COUNT(*) FROM D "
+        f"WHERE sample_time > '{day}T10:00:00' "
+        f"AND sample_time < '{day}T{10 + hours}:00:00'"
+    )
+
+
+def _executor(env, prune):
+    db = Database()
+    lazy_ingest_metadata(db, env.repository)
+    return TwoStageExecutor(
+        db, RepositoryBinding(env.repository, prune_by_time=prune)
+    )
+
+
+@pytest.mark.parametrize("prune", [False, True], ids=["off", "on"])
+def test_time_only_query(small_env, benchmark, prune):
+    executor = _executor(small_env, prune)
+    sql = _window_sql(small_env)
+    benchmark.pedantic(lambda: executor.execute(sql), rounds=2, iterations=1)
+
+
+def test_pruning_report(small_env, benchmark):
+    sql = _window_sql(small_env)
+    on = _executor(small_env, True)
+    off = _executor(small_env, False)
+    outcome_on = benchmark.pedantic(
+        lambda: on.execute(sql), rounds=1, iterations=1
+    )
+    outcome_off = off.execute(sql)
+    print(
+        f"\nwithout pruning: {outcome_off.breakpoint.n_files} files mounted; "
+        f"with pruning: {outcome_on.breakpoint.n_files} "
+        f"({outcome_on.breakpoint.pruned_by_time} pruned via F time spans)"
+    )
+    assert outcome_on.rows == outcome_off.rows
+    assert outcome_on.breakpoint.n_files < outcome_off.breakpoint.n_files
+    # One day's files out of the whole repository.
+    per_day = len(small_env.spec.stations) * len(small_env.spec.channels)
+    assert outcome_on.breakpoint.n_files == per_day

@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``tiny``, ``small``, or
+``default`` (the default) before running ``pytest benchmarks/
+--benchmark-only``. The ``default`` scale is the headline configuration
+documented in EXPERIMENTS.md (120 files, ~5.2M samples); ``small`` and
+``tiny`` exist for quick iteration.
+
+Repositories are cached on disk between runs (they are deterministic);
+databases are rebuilt per session.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import build_environment, default_spec, small_spec, tiny_spec
+
+_SPECS = {
+    "tiny": tiny_spec,
+    "small": small_spec,
+    "default": default_spec,
+}
+
+
+def _selected_spec():
+    name = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
+    try:
+        return _SPECS[name]()
+    except KeyError:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SPECS)}, got {name!r}"
+        ) from None
+
+
+@pytest.fixture(scope="session")
+def env():
+    """The headline benchmark environment (Ei + ALi over one repository)."""
+    return build_environment(_selected_spec())
+
+
+@pytest.fixture(scope="session")
+def small_env():
+    """A smaller environment for ablation benchmarks."""
+    return build_environment(small_spec())

@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+A plain ``setup.py`` (rather than a PEP 517 build-system table) lets
+``pip install -e .`` fall back to the legacy editable install, which works
+in fully offline environments without the ``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Two-stage query execution with automated lazy ingestion (ALi) for "
+        "scientific file repositories — reproduction of Kargın, SIGMOD'13 "
+        "PhD Symposium"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,21 @@
+"""repro — Turning Scientists into Data Explorers, reproduced.
+
+A full implementation of the two-stage query execution paradigm with
+Automated Lazy ingestion (ALi) from Kargın, *Turning Scientists into Data
+Explorers*, SIGMOD 2013 PhD Symposium — including every substrate it needs:
+
+* :mod:`repro.db` — a from-scratch columnar SQL engine (the MonetDB stand-in),
+* :mod:`repro.mseed` — an mSEED-style seismic file format, waveform
+  synthesizer, and file repository (the SEED/ORFEUS stand-in),
+* :mod:`repro.ingest` — eager ingestion (Ei) and lazy metadata-only setup
+  (ALi), with a pluggable file-format registry,
+* :mod:`repro.core` — the paper's contribution: plan decomposition
+  ``Q = Qf ▷ Qs``, run-time rewriting onto mount/cache-scan access paths,
+  breakpoints, informativeness, caching, derived metadata, multi-stage
+  execution,
+* :mod:`repro.explore` — explorer sessions and workload generators,
+* :mod:`repro.harness` — experiment harness regenerating the paper's
+  Table 1 and Figure 3 plus the ablations described in DESIGN.md.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands cover the whole zero-to-exploration path:
+
+* ``generate`` — synthesize an xSEED repository,
+* ``inspect``  — repository statistics from header-only scans,
+* ``load``     — ingest (eagerly or metadata-only) and persist a database,
+* ``query``    — run SQL: against a persisted database, or two-stage with
+  automated lazy ingestion straight against a repository,
+* ``bench``    — regenerate the paper's Table 1 / Figure 3 at a chosen scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from .core import TwoStageExecutor
+from .db import Database, DatabaseError
+from .ingest import RepositoryBinding, eager_ingest, lazy_ingest_metadata
+from .mseed import FileRepository, RepositorySpec, generate_repository
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Two-stage query execution with automated lazy ingestion",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser(
+        "generate", help="synthesize an xSEED file repository"
+    )
+    gen.add_argument("--root", required=True, help="output directory")
+    gen.add_argument("--stations", default="ISK,ANK,IZM")
+    gen.add_argument("--channels", default="BHE,BHN,BHZ")
+    gen.add_argument("--days", type=int, default=2)
+    gen.add_argument("--start-day", default="2010-01-10")
+    gen.add_argument("--sample-rate", type=float, default=0.1)
+    gen.add_argument("--samples-per-record", type=int, default=1800)
+    gen.add_argument("--seed", type=int, default=2013)
+
+    inspect = commands.add_parser(
+        "inspect", help="repository statistics (header-only)"
+    )
+    inspect.add_argument("--repo", required=True)
+
+    load = commands.add_parser(
+        "load", help="ingest a repository and persist the database"
+    )
+    load.add_argument("--repo", required=True)
+    load.add_argument("--db", required=True, help="database directory to write")
+    load.add_argument(
+        "--mode", choices=("eager", "lazy"), default="lazy",
+        help="eager = Ei (full load + indexes); lazy = ALi metadata only",
+    )
+
+    query = commands.add_parser("query", help="run one SQL query")
+    query.add_argument("sql")
+    source = query.add_mutually_exclusive_group(required=True)
+    source.add_argument("--db", help="persisted database directory")
+    source.add_argument(
+        "--repo", help="repository: metadata loads on the fly, two-stage "
+        "execution mounts files of interest",
+    )
+    query.add_argument(
+        "--explain", action="store_true", help="print the plan instead"
+    )
+    query.add_argument(
+        "--breakpoint", action="store_true",
+        help="print what the system knew between the stages (repo mode)",
+    )
+    query.add_argument("--limit", type=int, default=25,
+                       help="rows to display")
+
+    bench = commands.add_parser(
+        "bench", help="regenerate Table 1 and Figure 3"
+    )
+    bench.add_argument(
+        "--scale", choices=("tiny", "small", "default"), default="small"
+    )
+    bench.add_argument("--runs", type=int, default=3)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = RepositorySpec(
+        stations=tuple(s for s in args.stations.split(",") if s),
+        channels=tuple(c for c in args.channels.split(",") if c),
+        days=args.days,
+        start_day=args.start_day,
+        sample_rate=args.sample_rate,
+        samples_per_record=args.samples_per_record,
+        seed=args.seed,
+    )
+    started = time.perf_counter()
+    uris = generate_repository(args.root, spec)
+    repo = FileRepository(args.root)
+    print(
+        f"generated {len(uris)} files ({repo.total_bytes():,} bytes) "
+        f"under {args.root} in {time.perf_counter() - started:.2f}s"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    repo = FileRepository(args.repo, suffix=(".xseed", ".tscsv"))
+    db = Database()
+    report = lazy_ingest_metadata(db, repo)
+    print(f"repository : {repo.root}")
+    print(f"files      : {report.files}")
+    print(f"records    : {report.records}")
+    print(f"samples    : {report.samples:,} (described, not loaded)")
+    print(f"bytes      : {repo.total_bytes():,}")
+    print(f"header scan: {report.load_seconds * 1000:.1f} ms")
+    summary = db.execute(
+        "SELECT station, channel, COUNT(*) AS files, SUM(nsamples) AS samples "
+        "FROM F GROUP BY station, channel ORDER BY station, channel"
+    )
+    print(summary.pretty(limit=50))
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    repo = FileRepository(args.repo, suffix=(".xseed", ".tscsv"))
+    db = Database()
+    if args.mode == "eager":
+        report = eager_ingest(db, repo)
+        print(
+            f"eager load: {report.files} files / {report.samples:,} samples "
+            f"in {report.load_seconds:.2f}s + {report.index_seconds:.2f}s "
+            f"indexes"
+        )
+    else:
+        lazy_report = lazy_ingest_metadata(db, repo)
+        print(
+            f"metadata load: {lazy_report.files} files / "
+            f"{lazy_report.records} records in "
+            f"{lazy_report.load_seconds * 1000:.1f} ms"
+        )
+    written = db.save(args.db)
+    print(f"persisted {written:,} bytes to {args.db}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if args.db:
+        db = Database.open(args.db)
+        if args.explain:
+            print(db.explain(args.sql))
+            return 0
+        result = db.execute(args.sql)
+        print(result.pretty(limit=args.limit))
+        print(f"({result.num_rows} rows in {result.total_seconds:.4f}s)")
+        return 0
+
+    repo = FileRepository(args.repo, suffix=(".xseed", ".tscsv"))
+    db = Database()
+    lazy_ingest_metadata(db, repo)
+    executor = TwoStageExecutor(db, RepositoryBinding(repo))
+    if args.explain:
+        print(executor.explain(args.sql))
+        return 0
+    outcome = executor.execute(args.sql)
+    if args.breakpoint:
+        print("-- breakpoint --")
+        print(outcome.breakpoint.summary())
+        print("-- result --")
+    print(outcome.result.pretty(limit=args.limit))
+    print(
+        f"({outcome.result.num_rows} rows; stage 1 "
+        f"{outcome.timings.stage1_seconds * 1000:.1f} ms, stage 2 "
+        f"{outcome.timings.stage2_seconds * 1000:.1f} ms, "
+        f"{outcome.result.stats.files_mounted} file(s) mounted)"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .harness import (
+        build_environment,
+        default_spec,
+        run_figure3,
+        run_table1,
+        render_figure3,
+        render_table1,
+        small_spec,
+        tiny_spec,
+    )
+    from .harness.reporting import render_figure3_chart
+
+    spec = {"tiny": tiny_spec, "small": small_spec, "default": default_spec}[
+        args.scale
+    ]()
+    env = build_environment(spec)
+    print(render_table1(run_table1(env)))
+    print()
+    entries = run_figure3(env, runs=args.runs)
+    print(render_figure3(entries, len(env.repository)))
+    print()
+    print(render_figure3_chart(entries, len(env.repository)))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "inspect": _cmd_inspect,
+    "load": _cmd_load,
+    "query": _cmd_query,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except DatabaseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

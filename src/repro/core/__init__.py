@@ -1,0 +1,83 @@
+"""`repro.core` — the paper's primary contribution.
+
+Two-stage query execution with Automated Lazy ingestion (ALi): plan
+decomposition ``Q = Qf ▷ Qs``, the inter-stage breakpoint with
+informativeness estimation and query-destiny policies, run-time rewrite
+rule (1) onto mount/cache-scan access paths, the ingestion cache design
+space, derived metadata, and multi-stage execution.
+"""
+
+from .breakpoint import BreakpointInfo
+from .cache import (
+    CacheGranularity,
+    CachePolicy,
+    CacheStats,
+    IngestionCache,
+    WHOLE_FILE,
+)
+from .decompose import ActualScanInfo, Decomposition, decompose
+from .derived import DERIVED_TABLE, DerivedMetadataStore, derived_table_schema
+from .executor import (
+    BULK,
+    PER_FILE,
+    StageTimings,
+    TwoStageExecutor,
+    TwoStageResult,
+)
+from .informativeness import (
+    AbortAboveCost,
+    CallbackPolicy,
+    CostModel,
+    DestinyAction,
+    DestinyDecision,
+    DestinyPolicy,
+    InformativenessReport,
+    LimitFilesAboveCost,
+    ProceedAlways,
+    estimate_informativeness,
+)
+from .mounting import MountService, MountStats, interval_from_predicate
+from .multistage import BatchSnapshot, MultiStageExecutor, MultiStageResult
+from .partial import PartialMerger, is_decomposable
+from .rules import RewriteReport, apply_ali_rewrite, rewrite_actual_scan
+
+__all__ = [
+    "BreakpointInfo",
+    "CachePolicy",
+    "CacheGranularity",
+    "CacheStats",
+    "IngestionCache",
+    "WHOLE_FILE",
+    "ActualScanInfo",
+    "Decomposition",
+    "decompose",
+    "DERIVED_TABLE",
+    "DerivedMetadataStore",
+    "derived_table_schema",
+    "TwoStageExecutor",
+    "TwoStageResult",
+    "StageTimings",
+    "BULK",
+    "PER_FILE",
+    "CostModel",
+    "InformativenessReport",
+    "estimate_informativeness",
+    "DestinyPolicy",
+    "DestinyAction",
+    "DestinyDecision",
+    "ProceedAlways",
+    "AbortAboveCost",
+    "LimitFilesAboveCost",
+    "CallbackPolicy",
+    "MountService",
+    "MountStats",
+    "interval_from_predicate",
+    "MultiStageExecutor",
+    "MultiStageResult",
+    "BatchSnapshot",
+    "PartialMerger",
+    "is_decomposable",
+    "RewriteReport",
+    "apply_ali_rewrite",
+    "rewrite_actual_scan",
+]

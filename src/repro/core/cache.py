@@ -1,0 +1,175 @@
+"""The ingestion cache behind the cache-scan access path.
+
+The paper's default discards mounted data as soon as the query finishes
+("the chosen approach inherently ensures up-to-date data"), and leaves cache
+management as an open challenge (§5). This module implements the design
+space that challenge spans:
+
+* **policies** — DISCARD (paper default), UNBOUNDED, and LRU with a byte
+  budget,
+* **granularities** — FILE (cache whole files) and TUPLE (cache only the
+  tuples inside the requested time interval; §3: "combined selections with
+  cache-scans even lets the cache storage be tuple-granular").
+
+A tuple-granular entry records the closed time interval it covers; a request
+is served only when some entry's interval is a superset of the requested
+one — otherwise the whole file must be mounted again, exactly the trade-off
+§3 points out.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..db.table import ColumnBatch
+
+INF = 2**62
+Interval = tuple[int, int]  # closed [lo, hi] in µs; (-INF, INF) = whole file
+
+WHOLE_FILE: Interval = (-INF, INF)
+
+
+class CachePolicy(enum.Enum):
+    DISCARD = "discard"  # the paper's default: never retain
+    UNBOUNDED = "unbounded"  # retain everything
+    LRU = "lru"  # retain within a byte budget, evict least recently used
+
+
+class CacheGranularity(enum.Enum):
+    FILE = "file"
+    TUPLE = "tuple"
+
+
+def covers(entry: Interval, request: Interval) -> bool:
+    return entry[0] <= request[0] and entry[1] >= request[1]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    current_bytes: int = 0
+
+
+@dataclass
+class _Entry:
+    interval: Interval
+    batch: ColumnBatch
+    nbytes: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.nbytes = self.batch.nbytes()
+
+
+class IngestionCache:
+    """Cache of previously mounted file data (the set ``C`` of rule (1))."""
+
+    def __init__(
+        self,
+        policy: CachePolicy = CachePolicy.DISCARD,
+        granularity: CacheGranularity = CacheGranularity.FILE,
+        capacity_bytes: Optional[int] = None,
+    ) -> None:
+        if policy is CachePolicy.LRU and capacity_bytes is None:
+            raise ValueError("LRU policy requires capacity_bytes")
+        self.policy = policy
+        self.granularity = granularity
+        self.capacity_bytes = capacity_bytes
+        self.stats = CacheStats()
+        # Key: uri for FILE granularity, (uri, interval) for TUPLE.
+        self._entries: OrderedDict[object, _Entry] = OrderedDict()
+
+    # -- lookup -------------------------------------------------------------
+
+    def _matching_key(self, uri: str, request: Interval) -> Optional[object]:
+        if self.granularity is CacheGranularity.FILE:
+            return uri if uri in self._entries else None
+        for key, entry in self._entries.items():
+            if isinstance(key, tuple) and key[0] == uri and covers(
+                entry.interval, request
+            ):
+                return key
+        return None
+
+    def contains(self, uri: str, request: Interval = WHOLE_FILE) -> bool:
+        """Whether rule (1) should emit cache-scan(f) instead of mount(f)."""
+        return self._matching_key(uri, request) is not None
+
+    def lookup(
+        self, uri: str, request: Interval = WHOLE_FILE
+    ) -> Optional[ColumnBatch]:
+        """The cached batch covering ``request``, or None (counts a miss)."""
+        key = self._matching_key(uri, request)
+        if key is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        return self._entries[key].batch
+
+    def cached_uris(self) -> set[str]:
+        if self.granularity is CacheGranularity.FILE:
+            return {key for key in self._entries}  # type: ignore[misc]
+        return {key[0] for key in self._entries}  # type: ignore[index]
+
+    # -- store ---------------------------------------------------------------
+
+    def store(
+        self, uri: str, batch: ColumnBatch, interval: Interval = WHOLE_FILE
+    ) -> None:
+        """Retain one mount's data, subject to policy and granularity.
+
+        FILE granularity expects the *full* file batch (interval is forced to
+        whole-file); TUPLE granularity expects a batch already narrowed to
+        ``interval`` and must never contain rows filtered by non-time
+        predicates, or later broader requests would see missing tuples.
+        """
+        if self.policy is CachePolicy.DISCARD:
+            return
+        if self.granularity is CacheGranularity.FILE:
+            key: object = uri
+            interval = WHOLE_FILE
+        else:
+            key = (uri, interval)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        entry = _Entry(interval, batch)
+        self._entries[key] = entry
+        self.stats.insertions += 1
+        self.stats.current_bytes += entry.nbytes
+        self._evict_if_needed()
+
+    def _evict_if_needed(self) -> None:
+        if self.policy is not CachePolicy.LRU:
+            return
+        assert self.capacity_bytes is not None
+        while self.stats.current_bytes > self.capacity_bytes and len(self._entries) > 1:
+            _, entry = self._entries.popitem(last=False)
+            self.stats.current_bytes -= entry.nbytes
+            self.stats.evictions += 1
+
+    # -- maintenance -----------------------------------------------------------
+
+    def invalidate(self, uri: str) -> None:
+        """Drop all entries of one file (e.g. the file changed on disk)."""
+        doomed = [
+            key
+            for key in self._entries
+            if key == uri or (isinstance(key, tuple) and key[0] == uri)
+        ]
+        for key in doomed:
+            entry = self._entries.pop(key)
+            self.stats.current_bytes -= entry.nbytes
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats.current_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,433 @@
+"""The two-stage query executor — the paper's §3 "Physical Query Execution".
+
+One query runs through four physical steps:
+
+1. **compile-time optimization** — the classic pipeline plus metadata-first
+   join reordering, then decomposition into ``Qf`` and ``Qs``;
+2. **first stage** — execute ``Qf`` (metadata only) and collect the files of
+   interest;
+3. **run-time optimization** — estimate informativeness, consult the destiny
+   policy, and apply rewrite rule (1), turning each actual scan into a union
+   of mount / cache-scan access paths;
+4. **second stage** — execute the rewritten ``Qs``; mounting happens here,
+   transparently to the querying front-end.
+
+The executor also implements the strategy choice §3 raises — bulk execution
+(a) versus per-file partial aggregation then merge (b) — and the derived-
+metadata fast path of §5.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..db.buffer import IoStats
+from ..db.database import Database, QueryResult
+from ..db.errors import QueryAbortedError
+from ..db.plan.logical import (
+    Aggregate,
+    CacheScan,
+    LogicalPlan,
+    Mount,
+    ResultScan,
+    UnionAll,
+)
+from ..ingest.schema import FILE_TABLE, BindingSet, RepositoryBinding
+from .breakpoint import BreakpointInfo
+from .cache import INF, IngestionCache
+from .decompose import Decomposition, decompose, _replace_subtree
+from .executor_util import batch_from_rows
+from .informativeness import (
+    CostModel,
+    DestinyAction,
+    DestinyPolicy,
+    ProceedAlways,
+    estimate_informativeness,
+)
+from .mounting import MountService, interval_from_predicate
+from .partial import PartialMerger, is_decomposable
+from .rules import RewriteReport, apply_ali_rewrite
+
+BULK = "bulk"  # strategy (a): union everything, operate once
+PER_FILE = "per_file"  # strategy (b): operate per file, merge results
+
+_PARTIAL_TAG = "partial_agg"
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock CPU per physical step (simulated I/O tracked separately)."""
+
+    compile_seconds: float = 0.0
+    stage1_seconds: float = 0.0
+    runtime_opt_seconds: float = 0.0
+    stage2_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.compile_seconds
+            + self.stage1_seconds
+            + self.runtime_opt_seconds
+            + self.stage2_seconds
+        )
+
+
+@dataclass
+class TwoStageResult:
+    """A query answer plus everything the breakpoint learned."""
+
+    result: QueryResult
+    breakpoint: BreakpointInfo
+    decomposition: Decomposition
+    timings: StageTimings = field(default_factory=StageTimings)
+    approximate: bool = False
+
+    @property
+    def rows(self):
+        return self.result.rows()
+
+    @property
+    def total_seconds(self) -> float:
+        return self.result.total_seconds
+
+
+def _merge_io(parts: list[IoStats]) -> IoStats:
+    merged = IoStats()
+    for part in parts:
+        merged.objects_read += part.objects_read
+        merged.bytes_read += part.bytes_read
+        merged.simulated_seconds += part.simulated_seconds
+        merged.touched |= part.touched
+    return merged
+
+
+class TwoStageExecutor:
+    """Runs SQL with two-stage execution and automated lazy ingestion."""
+
+    def __init__(
+        self,
+        db: Database,
+        bindings: BindingSet | RepositoryBinding,
+        cache: Optional[IngestionCache] = None,
+        destiny: Optional[DestinyPolicy] = None,
+        cost_model: Optional[CostModel] = None,
+        strategy: str = BULK,
+        derived=None,  # Optional[DerivedMetadataStore]
+        estimate: bool = True,
+    ) -> None:
+        if isinstance(bindings, RepositoryBinding):
+            bindings = BindingSet.single(bindings)
+        if strategy not in (BULK, PER_FILE):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.db = db
+        self.bindings = bindings
+        # `cache or ...` would discard an *empty* cache (len() == 0 is falsy).
+        self.cache = cache if cache is not None else IngestionCache()
+        self.mounts = MountService(bindings, self.cache, buffers=db.buffers)
+        self.destiny = destiny or ProceedAlways()
+        self.cost_model = cost_model or CostModel()
+        self.strategy = strategy
+        self.derived = derived
+        self.estimate = estimate
+        if derived is not None:
+            self.mounts.add_mount_callback(derived.on_mount)
+
+    # -- compile-time ------------------------------------------------------------
+
+    def _uri_column_of(self, table_name: str) -> str:
+        binding = self.bindings.for_table(table_name)
+        return binding.uri_column if binding is not None else "uri"
+
+    def prepare(self, sql: str) -> Decomposition:
+        """Steps 1: parse, bind, optimize metadata-first, decompose."""
+        plan = self.db.bind_sql(sql)
+        plan = self.db.optimize(plan, metadata_first=True)
+        return decompose(
+            plan, self.db.catalog.is_metadata_table, self._uri_column_of
+        )
+
+    def explain(self, sql: str) -> str:
+        """The single optimized plan with the ``Qf`` branch marked."""
+        return self.prepare(sql).explain()
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> TwoStageResult:
+        timings = StageTimings()
+        started = time.perf_counter()
+        decomposition = self.prepare(sql)
+        timings.compile_seconds = time.perf_counter() - started
+
+        ctx = self.db.make_context(mounter=self.mounts)
+        breakpoint_info = BreakpointInfo()
+        io_parts: list[IoStats] = []
+
+        # A metadata-only query is answered entirely by stage 1 — "the first
+        # stage of execution is naturally enough" (§3).
+        if decomposition.metadata_only:
+            result = self.db.execute_plan(decomposition.plan, ctx)
+            timings.stage1_seconds = result.elapsed_cpu
+            breakpoint_info.stage1_rows = result.num_rows
+            breakpoint_info.stage1_seconds = result.elapsed_cpu
+            return TwoStageResult(result, breakpoint_info, decomposition, timings)
+
+        # Stage 1: the metadata branch.
+        if decomposition.qf is not None:
+            stage1 = self.db.execute_plan(decomposition.qf, ctx)
+            ctx.results[decomposition.result_tag] = stage1.batch
+            timings.stage1_seconds = stage1.elapsed_cpu
+            io_parts.append(stage1.io)
+            breakpoint_info.stage1_rows = stage1.num_rows
+            breakpoint_info.stage1_seconds = stage1.elapsed_cpu
+
+        # Files of interest, per actual-table alias.
+        opt_started = time.perf_counter()
+        files_by_alias = self._files_of_interest(decomposition, ctx)
+        files_by_alias, pruned_by_time = self._prune_by_time(
+            decomposition, files_by_alias
+        )
+        breakpoint_info.files_by_alias = files_by_alias
+        breakpoint_info.pruned_by_time = pruned_by_time
+
+        if self.estimate:
+            breakpoint_info.estimate = estimate_informativeness(
+                self.db,
+                breakpoint_info.files_of_interest,
+                self._repository_file_count(decomposition),
+                self.cache.cached_uris(),
+                self.cost_model,
+                interval=self._query_interval(decomposition),
+            )
+            decision = self.destiny.decide(breakpoint_info.estimate)
+            breakpoint_info.decision = decision
+            if decision.action is DestinyAction.ABORT:
+                raise QueryAbortedError(
+                    f"query aborted at breakpoint: {decision.reason}",
+                    breakpoint_info,
+                )
+            approximate = False
+            if decision.action is DestinyAction.LIMIT:
+                assert decision.max_files is not None
+                files_by_alias = {
+                    alias: files[: decision.max_files]
+                    for alias, files in files_by_alias.items()
+                }
+                breakpoint_info.files_by_alias = files_by_alias
+                approximate = True
+        else:
+            approximate = False
+
+        # Derived-metadata fast path (§5): answer summaries without mounting.
+        if self.derived is not None:
+            derived_result = self.derived.try_answer(
+                decomposition, files_by_alias, ctx, self.db
+            )
+            if derived_result is not None:
+                breakpoint_info.answered_from_derived = True
+                timings.runtime_opt_seconds = time.perf_counter() - opt_started
+                return TwoStageResult(
+                    derived_result, breakpoint_info, decomposition, timings,
+                    approximate=approximate,
+                )
+
+        # Run-time optimization: rewrite rule (1).
+        report = RewriteReport()
+        assert decomposition.qs is not None
+        rewritten = apply_ali_rewrite(
+            decomposition.qs,
+            files_by_alias,
+            self.cache,
+            time_column=self.mounts.time_column,
+            report=report,
+        )
+        breakpoint_info.rewrite = report
+        timings.runtime_opt_seconds = time.perf_counter() - opt_started
+
+        # Stage 2: mounts happen here, inside the plan.
+        if self.strategy == PER_FILE:
+            stage2 = self._execute_per_file(rewritten, ctx)
+        else:
+            stage2 = self.db.execute_plan(rewritten, ctx)
+        timings.stage2_seconds = stage2.elapsed_cpu
+        io_parts.append(stage2.io)
+
+        combined = QueryResult(
+            names=stage2.names,
+            batch=stage2.batch,
+            elapsed_cpu=timings.total_seconds,
+            io=_merge_io(io_parts),
+            stats=ctx.stats,
+        )
+        return TwoStageResult(
+            combined, breakpoint_info, decomposition, timings,
+            approximate=approximate,
+        )
+
+    # -- breakpoint helpers ----------------------------------------------------------
+
+    def _prune_by_time(
+        self,
+        decomposition: Decomposition,
+        files_by_alias: dict[str, list[str]],
+    ) -> tuple[dict[str, list[str]], int]:
+        """Drop files whose metadata time span cannot satisfy the query's
+        sample-time interval.
+
+        A file's samples lie within ``[F.start_time, F.end_time]`` — that is
+        what the metadata *means* — so when the actual-data predicate bounds
+        ``sample_time`` to an interval disjoint from a file's span, that file
+        contributes no rows and need not be mounted. This is metadata
+        exploitation beyond the join structure (§5 "extending metadata"),
+        and it is what keeps queries that constrain *only* D's time cheap.
+        Disable per binding with ``prune_by_time=False``.
+        """
+        assert decomposition.qs is not None
+        pruned_total = 0
+        predicates = _actual_scan_predicates(decomposition.qs)
+        result: dict[str, list[str]] = {}
+        for info in decomposition.actual_scans:
+            files = files_by_alias.get(info.alias, [])
+            binding = self.bindings.for_table(info.table_name)
+            predicate = predicates.get(info.alias)
+            if (
+                binding is None
+                or not binding.prune_by_time
+                or predicate is None
+                or not files
+            ):
+                result[info.alias] = files
+                continue
+            time_key = f"{info.alias}.{binding.time_column}"
+            lo, hi = interval_from_predicate(predicate, time_key)
+            if lo == -INF and hi == INF:
+                result[info.alias] = files
+                continue
+            spans = self._file_time_spans()
+            kept = [
+                uri
+                for uri in files
+                if uri not in spans
+                or (spans[uri][0] <= hi and spans[uri][1] >= lo)
+            ]
+            pruned_total += len(files) - len(kept)
+            result[info.alias] = kept
+        return result, pruned_total
+
+    def _query_interval(
+        self, decomposition: Decomposition
+    ) -> Optional[tuple[int, int]]:
+        """The sample-time interval the query's actual-data predicate
+        implies (None when unbounded) — used to estimate the answer size."""
+        assert decomposition.qs is not None
+        predicates = _actual_scan_predicates(decomposition.qs)
+        for info in decomposition.actual_scans:
+            binding = self.bindings.for_table(info.table_name)
+            time_column = binding.time_column if binding else "sample_time"
+            predicate = predicates.get(info.alias)
+            if predicate is None:
+                continue
+            interval = interval_from_predicate(
+                predicate, f"{info.alias}.{time_column}"
+            )
+            if interval != (-INF, INF):
+                return interval
+        return None
+
+    def _file_time_spans(self) -> dict[str, tuple[int, int]]:
+        """uri → (start_time, end_time) from the loaded ``F`` metadata."""
+        table = self.db.catalog.table(FILE_TABLE)
+        batch = table.batch
+        uris = batch.column("uri").to_pylist()
+        starts = batch.column("start_time").to_pylist()
+        ends = batch.column("end_time").to_pylist()
+        return {u: (int(s), int(e)) for u, s, e in zip(uris, starts, ends)}
+
+    def _repository_file_count(self, decomposition: Decomposition) -> int:
+        tables = {info.table_name.lower() for info in decomposition.actual_scans}
+        total = 0
+        seen = set()
+        for table in tables:
+            binding = self.bindings.for_table(table)
+            if binding is not None and id(binding) not in seen:
+                seen.add(id(binding))
+                total += len(binding.repository)
+        return total
+
+    def _files_of_interest(self, decomposition: Decomposition, ctx) -> dict[str, list[str]]:
+        files_by_alias: dict[str, list[str]] = {}
+        qf_batch = ctx.results.get(decomposition.result_tag)
+        for info in decomposition.actual_scans:
+            if info.link_key is not None and qf_batch is not None:
+                values = qf_batch.column(info.link_key).to_pylist()
+                files_by_alias[info.alias] = list(dict.fromkeys(values))
+            else:
+                # No metadata constraint: every file is of interest (§4's
+                # worst case).
+                binding = self.bindings.for_table(info.table_name)
+                files_by_alias[info.alias] = (
+                    binding.repository.uris() if binding is not None else []
+                )
+        return files_by_alias
+
+    # -- strategy (b): per-file partials --------------------------------------------
+
+    def _execute_per_file(self, rewritten: LogicalPlan, ctx) -> QueryResult:
+        """Run higher operators per sub-table and merge (§3 choice (b)).
+
+        Falls back to bulk execution when the plan shape does not decompose
+        (no aggregate, non-decomposable aggregate, or several unions).
+        """
+        aggregate = next(
+            (n for n in rewritten.walk() if isinstance(n, Aggregate)), None
+        )
+        unions = [n for n in rewritten.walk() if isinstance(n, UnionAll)]
+        if (
+            aggregate is None
+            or len(unions) != 1
+            or not is_decomposable(aggregate)
+            or not _union_below(aggregate, unions[0])
+            or not all(
+                isinstance(b, (Mount, CacheScan)) for b in unions[0].inputs
+            )
+        ):
+            return self.db.execute_plan(rewritten, ctx)
+
+        union = unions[0]
+        merger = PartialMerger(aggregate)
+        for branch in union.inputs:
+            child = _replace_subtree(
+                aggregate.child, union, UnionAll([branch])
+            )
+            partial_plan = merger.partial_aggregate_node(child)
+            partial = self.db.execute_plan(partial_plan, ctx)
+            merger.merge(partial.rows(), partial.names)
+
+        final_batch = batch_from_rows(aggregate.output, merger.finalized_rows())
+        ctx.results[_PARTIAL_TAG] = final_batch
+        remainder = _replace_subtree(
+            rewritten, aggregate, ResultScan(_PARTIAL_TAG, list(aggregate.output))
+        )
+        return self.db.execute_plan(remainder, ctx)
+
+
+def _union_below(root: LogicalPlan, union: UnionAll) -> bool:
+    return any(node is union for node in root.walk())
+
+
+def _actual_scan_predicates(qs: LogicalPlan) -> dict[str, object]:
+    """alias → the selection predicate sitting directly on its scan.
+
+    Only the fused ``Select(Scan)`` shape matters: that is the predicate
+    rule (1) will push into every mount branch, and the one whose time
+    bounds can prune files via metadata.
+    """
+    from ..db.plan.logical import Scan, Select
+
+    predicates: dict[str, object] = {}
+    for node in qs.walk():
+        if isinstance(node, Select) and isinstance(node.child, Scan):
+            predicates[node.child.alias] = node.predicate
+    return predicates

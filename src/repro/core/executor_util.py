@@ -1,0 +1,19 @@
+"""Small helpers shared by the executor, derived metadata, and multi-stage."""
+
+from __future__ import annotations
+
+from ..db.column import Column
+from ..db.table import ColumnBatch
+from ..db.types import DataType
+
+
+def batch_from_rows(
+    output: list[tuple[str, DataType]], rows: list[tuple]
+) -> ColumnBatch:
+    """Materialize Python rows in a plan node's output layout."""
+    names = [name for name, _ in output]
+    columns = [
+        Column.from_pylist(dtype, [row[i] for row in rows])
+        for i, (_, dtype) in enumerate(output)
+    ]
+    return ColumnBatch(names, columns)

@@ -1,0 +1,60 @@
+"""`repro.db` — a from-scratch columnar SQL engine.
+
+This package is the MonetDB substitute of the reproduction: SQL parsing,
+logical planning with rewrite rules, operator-at-a-time columnar execution
+over numpy, key indexes, a buffer manager with an explicit disk model for
+cold/hot experiments, and on-disk persistence.
+"""
+
+from .buffer import BufferManager, DiskModel, IoStats
+from .catalog import Catalog
+from .column import Column, StringDictionary
+from .database import Database, QueryResult
+from .errors import (
+    BindError,
+    CatalogError,
+    DatabaseError,
+    ExecutionError,
+    IngestError,
+    PlanError,
+    QueryAbortedError,
+    SqlSyntaxError,
+    StorageError,
+    TypeError_,
+)
+from .index import HashIndex
+from .schema import ColumnDef, ForeignKey, TableKind, TableSchema
+from .table import ColumnBatch, Table, concat_batches
+from .types import DataType, format_timestamp, parse_timestamp
+
+__all__ = [
+    "BufferManager",
+    "DiskModel",
+    "IoStats",
+    "Catalog",
+    "Column",
+    "StringDictionary",
+    "Database",
+    "QueryResult",
+    "DatabaseError",
+    "SqlSyntaxError",
+    "BindError",
+    "TypeError_",
+    "PlanError",
+    "ExecutionError",
+    "CatalogError",
+    "StorageError",
+    "IngestError",
+    "QueryAbortedError",
+    "HashIndex",
+    "ColumnDef",
+    "ForeignKey",
+    "TableKind",
+    "TableSchema",
+    "ColumnBatch",
+    "Table",
+    "concat_batches",
+    "DataType",
+    "format_timestamp",
+    "parse_timestamp",
+]

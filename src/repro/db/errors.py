@@ -1,0 +1,61 @@
+"""Error hierarchy for the repro database engine.
+
+Every error raised on a user-visible path derives from :class:`DatabaseError`
+so that callers can catch one type. Finer-grained subclasses distinguish the
+layer that failed (parsing, binding, planning, execution, storage, catalog).
+"""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for all errors raised by the repro database engine."""
+
+
+class SqlSyntaxError(DatabaseError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the offending position so front-ends can point at the problem.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(DatabaseError):
+    """A name in the query could not be resolved against the catalog."""
+
+
+class TypeError_(DatabaseError):
+    """An expression combines values of incompatible types."""
+
+
+class PlanError(DatabaseError):
+    """The logical plan is malformed or cannot be optimized/decomposed."""
+
+
+class ExecutionError(DatabaseError):
+    """A physical operator failed while producing its result."""
+
+
+class CatalogError(DatabaseError):
+    """Catalog inconsistency: unknown/duplicate table, bad key definition."""
+
+
+class StorageError(DatabaseError):
+    """On-disk state is missing or corrupt."""
+
+
+class IngestError(DatabaseError):
+    """A repository file could not be extracted, transformed, or mounted."""
+
+
+class QueryAbortedError(DatabaseError):
+    """The explorer (or a destiny policy) aborted the query at a breakpoint."""
+
+    def __init__(self, message: str, breakpoint_info: object | None = None) -> None:
+        super().__init__(message)
+        self.breakpoint_info = breakpoint_info

@@ -1,0 +1,1 @@
+"""Logical planning, rewriting, and physical execution."""

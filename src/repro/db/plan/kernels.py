@@ -1,0 +1,102 @@
+"""Shared columnar kernels: factorization, grouping, stable distinct.
+
+These helpers reduce heterogeneous key columns (including dictionary-encoded
+strings) to dense int64 codes whose sort order matches the value order, which
+lets group-by, sort, and distinct all run on plain numpy integer arrays.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..column import Column
+
+
+def factorize(column: Column) -> tuple[np.ndarray, int]:
+    """Map a column to dense int64 codes preserving value order.
+
+    Returns ``(codes, cardinality)``; equal values share a code and
+    ``value_a < value_b`` implies ``code_a < code_b``.
+    """
+    values = column.key_values()
+    uniques, inverse = np.unique(values, return_inverse=True)
+    return inverse.astype(np.int64), len(uniques)
+
+
+def combined_codes(columns: Sequence[Column]) -> np.ndarray:
+    """Collapse several key columns into one int64 code per row.
+
+    Row equality on the combined code is equivalent to tuple equality on the
+    original keys; ordering follows the left-to-right tuple order.
+    """
+    if not columns:
+        raise ValueError("combined_codes requires at least one column")
+    codes, card = factorize(columns[0])
+    for column in columns[1:]:
+        next_codes, next_card = factorize(column)
+        if next_card == 0:
+            return codes
+        codes = codes * np.int64(next_card) + next_codes
+    return codes
+
+
+def group_by_codes(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+    """Group rows by code.
+
+    Returns ``(group_ids, representatives, num_groups)`` where ``group_ids``
+    assigns each row its group (dense, ordered by first key order) and
+    ``representatives`` holds the first row index of each group.
+    """
+    uniques, first_pos, inverse = np.unique(
+        codes, return_index=True, return_inverse=True
+    )
+    return inverse.astype(np.int64), first_pos.astype(np.int64), len(uniques)
+
+
+def first_occurrence_indices(codes: np.ndarray) -> np.ndarray:
+    """Indices of the first occurrence of each distinct code, in row order
+    (the kernel behind a *stable* DISTINCT)."""
+    _, first_pos = np.unique(codes, return_index=True)
+    return np.sort(first_pos)
+
+
+def join_codes(
+    left_columns: Sequence[Column], right_columns: Sequence[Column]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Jointly factorize both sides of an equi-join.
+
+    Per-column factorization is local to a column, so codes from two columns
+    are not comparable; this factorizes each key position over the
+    concatenation of both sides, then combines positions. Equal key tuples on
+    the two sides receive equal combined codes.
+    """
+    if len(left_columns) != len(right_columns):
+        raise ValueError("join key arity mismatch")
+    n_left = len(left_columns[0]) if left_columns else 0
+    left_codes = np.zeros(n_left, dtype=np.int64)
+    n_right = len(right_columns[0]) if right_columns else 0
+    right_codes = np.zeros(n_right, dtype=np.int64)
+    for left_col, right_col in zip(left_columns, right_columns):
+        both = np.concatenate([left_col.key_values(), right_col.key_values()])
+        uniques, inverse = np.unique(both, return_inverse=True)
+        card = max(len(uniques), 1)
+        inverse = inverse.astype(np.int64)
+        left_codes = left_codes * card + inverse[:n_left]
+        right_codes = right_codes * card + inverse[n_left:]
+    return left_codes, right_codes
+
+
+def sort_indices(
+    key_columns: Sequence[Column], ascending: Sequence[bool]
+) -> np.ndarray:
+    """Stable multi-key sort; per-key direction via code negation."""
+    if not key_columns:
+        raise ValueError("sort_indices requires at least one key")
+    arrays = []
+    for column, asc in zip(key_columns, ascending):
+        codes, _ = factorize(column)
+        arrays.append(codes if asc else -codes)
+    # np.lexsort sorts by the last key first; our first key is primary.
+    return np.lexsort(arrays[::-1])

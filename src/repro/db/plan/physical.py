@@ -1,0 +1,646 @@
+"""Physical operators (operator-at-a-time, MonetDB style).
+
+Each operator materializes its full result as a :class:`ColumnBatch`. Base
+table and index accesses go through the :class:`BufferManager` so cold/hot
+experiments can charge simulated disk reads.
+
+The mount and cache-scan access paths delegate to a :class:`Mounter`
+implementation supplied by the two-stage layer, keeping the engine itself
+ignorant of file formats and cache policies.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+import numpy as np
+
+from ..buffer import BufferManager, index_object_name, table_object_name
+from ..catalog import Catalog
+from ..column import Column
+from ..errors import ExecutionError
+from ..expr import Expr
+from ..index import HashIndex
+from ..table import ColumnBatch, concat_batches
+from ..types import DataType
+from .kernels import (
+    combined_codes,
+    first_occurrence_indices,
+    group_by_codes,
+    join_codes,
+    sort_indices,
+)
+from .logical import AggSpec
+
+
+class Mounter(Protocol):
+    """The two-stage layer's hook for ALi access paths."""
+
+    def mount_file(
+        self,
+        uri: str,
+        table_name: str,
+        alias: str,
+        predicate: Optional[Expr],
+    ) -> ColumnBatch:
+        """Extract/transform/ingest one file; return its (filtered) tuples."""
+        ...
+
+    def cache_scan(
+        self,
+        uri: str,
+        table_name: str,
+        alias: str,
+        predicate: Optional[Expr],
+    ) -> ColumnBatch:
+        """Serve one file's (filtered) tuples from the ingestion cache."""
+        ...
+
+
+@dataclass
+class OpProfile:
+    """One operator's contribution to a query (EXPLAIN-ANALYZE style)."""
+
+    op: str
+    detail: str
+    rows: int
+    seconds: float  # inclusive of children
+    depth: int
+
+
+@dataclass
+class ExecStats:
+    """Counters accumulated while executing one plan."""
+
+    rows_scanned: int = 0
+    rows_joined: int = 0
+    files_mounted: int = 0
+    cache_scans: int = 0
+    operators_run: int = 0
+    profile: list[OpProfile] = field(default_factory=list)
+
+    def render_profile(self) -> str:
+        """The operator tree with per-node rows and inclusive times."""
+        lines = []
+        for entry in self.profile:
+            indent = "  " * entry.depth
+            lines.append(
+                f"{indent}{entry.op}{entry.detail}  "
+                f"[{entry.rows} rows, {entry.seconds * 1000:.2f} ms]"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ExecutionContext:
+    """Everything operators need at run time."""
+
+    catalog: Catalog
+    buffers: Optional[BufferManager] = None
+    mounter: Optional[Mounter] = None
+    results: dict[str, ColumnBatch] = field(default_factory=dict)
+    stats: ExecStats = field(default_factory=ExecStats)
+    profiling: bool = False
+    _profile_depth: int = 0
+
+    def touch(self, name: str, nbytes: int) -> None:
+        if self.buffers is not None:
+            self.buffers.touch(name, nbytes)
+
+
+class PhysicalOp:
+    """Base class; ``execute`` returns the operator's full result.
+
+    When the context has ``profiling`` on, every operator contributes an
+    :class:`OpProfile` entry (pre-order, with depth) so the full executed
+    tree can be rendered with rows and inclusive wall times.
+    """
+
+    def execute(self, ctx: ExecutionContext) -> ColumnBatch:
+        ctx.stats.operators_run += 1
+        if not ctx.profiling:
+            return self._run(ctx)
+        entry = OpProfile(
+            op=type(self).__name__,
+            detail=self._profile_detail(),
+            rows=0,
+            seconds=0.0,
+            depth=ctx._profile_depth,
+        )
+        ctx.stats.profile.append(entry)
+        ctx._profile_depth += 1
+        started = _time.perf_counter()
+        try:
+            batch = self._run(ctx)
+        finally:
+            ctx._profile_depth -= 1
+        entry.seconds = _time.perf_counter() - started
+        entry.rows = batch.num_rows
+        return batch
+
+    def _profile_detail(self) -> str:
+        for attr in ("table_name", "uri", "tag"):
+            value = getattr(self, attr, None)
+            if value is not None:
+                return f"({value})"
+        return ""
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        raise NotImplementedError
+
+
+@dataclass
+class PTableScan(PhysicalOp):
+    """Scan a base table, producing columns under qualified keys."""
+
+    table_name: str
+    alias: str
+    columns: list[tuple[str, str, DataType]]  # (column, qualified key, dtype)
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        table = ctx.catalog.table(self.table_name)
+        names: list[str] = []
+        cols: list[Column] = []
+        for column_name, key, _ in self.columns:
+            column = table.batch.column(column_name)
+            ctx.touch(
+                table_object_name(self.table_name, column_name), column.nbytes()
+            )
+            names.append(key)
+            cols.append(column)
+        batch = ColumnBatch(names, cols)
+        ctx.stats.rows_scanned += batch.num_rows
+        return batch
+
+
+@dataclass
+class PIndexScan(PhysicalOp):
+    """Index scan: fetch the rows matching an equality key via a key index.
+
+    One of the two classic access paths the paper starts from ("an access
+    path is either a scan or an index-scan", §3). The residual predicate
+    holds whatever conjuncts the index key did not absorb.
+    """
+
+    table_name: str
+    alias: str
+    columns: list[tuple[str, str, DataType]]  # (column, qualified key, dtype)
+    index: HashIndex
+    key: object
+    residual: Optional[Expr] = None
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        ctx.touch(
+            index_object_name(self.table_name, self.index.column_names),
+            self.index.nbytes(),
+        )
+        rowids = self.index.lookup(self.key)
+        table = ctx.catalog.table(self.table_name)
+        names: list[str] = []
+        cols: list[Column] = []
+        for column_name, key, _ in self.columns:
+            column = table.batch.column(column_name)
+            ctx.touch(
+                table_object_name(self.table_name, column_name), column.nbytes()
+            )
+            names.append(key)
+            cols.append(column.take(rowids))
+        batch = ColumnBatch(names, cols)
+        ctx.stats.rows_scanned += batch.num_rows
+        if self.residual is not None:
+            mask = self.residual.evaluate(batch).values
+            batch = batch.filter(mask)
+        return batch
+
+
+@dataclass
+class PFilter(PhysicalOp):
+    child: PhysicalOp
+    predicate: Expr
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        batch = self.child.execute(ctx)
+        mask = self.predicate.evaluate(batch).values
+        return batch.filter(mask)
+
+
+@dataclass
+class PProject(PhysicalOp):
+    child: PhysicalOp
+    items: list[tuple[str, Expr]]
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        batch = self.child.execute(ctx)
+        names = [name for name, _ in self.items]
+        columns = [expr.evaluate(batch) for _, expr in self.items]
+        return ColumnBatch(names, columns)
+
+
+@dataclass
+class PHashJoin(PhysicalOp):
+    """Equi hash join; optional residual predicate for mixed conditions.
+
+    ``index_sideload`` lists key indexes the engine consults for this join
+    (MonetDB style: "the foreign key indexes in Ei have to be brought into
+    main memory to compute the joins", §4). They are touched in the buffer
+    manager — charging cold-run I/O — without changing the join result.
+    """
+
+    left: PhysicalOp
+    right: PhysicalOp
+    left_keys: list[str]
+    right_keys: list[str]
+    residual: Optional[Expr] = None
+    index_sideload: list[HashIndex] = field(default_factory=list)
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        for index in self.index_sideload:
+            ctx.touch(
+                index_object_name(index.table_name, index.column_names),
+                index.nbytes(),
+            )
+        left_batch = self.left.execute(ctx)
+        right_batch = self.right.execute(ctx)
+        left_cols = [left_batch.column(k) for k in self.left_keys]
+        right_cols = [right_batch.column(k) for k in self.right_keys]
+        left_codes, right_codes = join_codes(left_cols, right_cols)
+        left_idx, right_idx = _match_codes(left_codes, right_codes)
+        joined = ColumnBatch(
+            left_batch.names + right_batch.names,
+            [c.take(left_idx) for c in left_batch.columns]
+            + [c.take(right_idx) for c in right_batch.columns],
+        )
+        if self.residual is not None:
+            mask = self.residual.evaluate(joined).values
+            joined = joined.filter(mask)
+        ctx.stats.rows_joined += joined.num_rows
+        return joined
+
+
+def _match_codes(
+    left_codes: np.ndarray, right_codes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (left, right) index pairs with equal codes (inner-join core)."""
+    order = np.argsort(right_codes, kind="stable")
+    sorted_codes = right_codes[order]
+    starts = np.searchsorted(sorted_codes, left_codes, side="left")
+    ends = np.searchsorted(sorted_codes, left_codes, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    left_idx = np.repeat(np.arange(len(left_codes)), counts)
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    within = np.arange(total) - np.repeat(offsets, counts)
+    right_idx = order[np.repeat(starts, counts) + within]
+    return left_idx, right_idx
+
+
+@dataclass
+class PNestedLoopJoin(PhysicalOp):
+    """Cartesian product with an optional filter (non-equi conditions)."""
+
+    left: PhysicalOp
+    right: PhysicalOp
+    condition: Optional[Expr] = None
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        left_batch = self.left.execute(ctx)
+        right_batch = self.right.execute(ctx)
+        n_left, n_right = left_batch.num_rows, right_batch.num_rows
+        left_idx = np.repeat(np.arange(n_left), n_right)
+        right_idx = np.tile(np.arange(n_right), n_left)
+        joined = ColumnBatch(
+            left_batch.names + right_batch.names,
+            [c.take(left_idx) for c in left_batch.columns]
+            + [c.take(right_idx) for c in right_batch.columns],
+        )
+        if self.condition is not None:
+            mask = self.condition.evaluate(joined).values
+            joined = joined.filter(mask)
+        ctx.stats.rows_joined += joined.num_rows
+        return joined
+
+
+@dataclass
+class PIndexJoin(PhysicalOp):
+    """Join by probing a pre-built key index of a stored table.
+
+    This is how eager ingestion (Ei) pays for its indexes at query time: the
+    index object is touched in the buffer manager, so a cold run charges its
+    full size — the paper's "foreign key indexes have to be brought into main
+    memory to compute the joins".
+    """
+
+    probe: PhysicalOp
+    probe_keys: list[str]
+    table_name: str
+    alias: str
+    stored_columns: list[tuple[str, str, DataType]]
+    index: HashIndex
+    stored_predicate: Optional[Expr] = None
+    residual: Optional[Expr] = None
+    probe_on_left: bool = True
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        probe_batch = self.probe.execute(ctx)
+        ctx.touch(
+            index_object_name(self.table_name, self.index.column_names),
+            self.index.nbytes(),
+        )
+        key_arrays = [
+            probe_batch.column(k).key_values() for k in self.probe_keys
+        ]
+        if len(key_arrays) == 1:
+            probe_key_list: list[object] = list(key_arrays[0])
+        else:
+            probe_key_list = list(zip(*key_arrays))
+        probe_idx, build_rowids = self.index.lookup_many(probe_key_list)
+
+        table = ctx.catalog.table(self.table_name)
+        names: list[str] = []
+        cols: list[Column] = []
+        for column_name, key, _ in self.stored_columns:
+            column = table.batch.column(column_name)
+            ctx.touch(
+                table_object_name(self.table_name, column_name), column.nbytes()
+            )
+            names.append(key)
+            cols.append(column.take(build_rowids))
+        build_batch = ColumnBatch(names, cols)
+        probe_side = probe_batch.take(probe_idx)
+        if self.probe_on_left:
+            joined = ColumnBatch(
+                probe_side.names + build_batch.names,
+                probe_side.columns + build_batch.columns,
+            )
+        else:
+            joined = ColumnBatch(
+                build_batch.names + probe_side.names,
+                build_batch.columns + probe_side.columns,
+            )
+        if self.stored_predicate is not None:
+            mask = self.stored_predicate.evaluate(joined).values
+            joined = joined.filter(mask)
+        if self.residual is not None:
+            mask = self.residual.evaluate(joined).values
+            joined = joined.filter(mask)
+        ctx.stats.rows_joined += joined.num_rows
+        return joined
+
+
+@dataclass
+class PSemiJoin(PhysicalOp):
+    """Membership filter against an uncorrelated sub-plan's result."""
+
+    child: PhysicalOp
+    operand: Expr
+    subplan: PhysicalOp
+    negated: bool = False
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        batch = self.child.execute(ctx)
+        sub_batch = self.subplan.execute(ctx)
+        if sub_batch.num_columns != 1:
+            raise ExecutionError(
+                "IN subquery must produce exactly one column, got "
+                f"{sub_batch.num_columns}"
+            )
+        member_values = np.unique(sub_batch.columns[0].key_values())
+        probe = self.operand.evaluate(batch).key_values()
+        mask = np.isin(probe, member_values)
+        if self.negated:
+            mask = ~mask
+        return batch.filter(mask)
+
+
+@dataclass
+class PAggregate(PhysicalOp):
+    child: PhysicalOp
+    groups: list[tuple[str, Expr]]
+    aggs: list[AggSpec]
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        batch = self.child.execute(ctx)
+        n = batch.num_rows
+        if self.groups:
+            key_cols = [expr.evaluate(batch) for _, expr in self.groups]
+            codes = combined_codes(key_cols)
+            group_ids, representatives, ngroups = group_by_codes(codes)
+            out_names = [name for name, _ in self.groups]
+            out_cols = [col.take(representatives) for col in key_cols]
+        else:
+            group_ids = np.zeros(n, dtype=np.int64)
+            ngroups = 1
+            out_names, out_cols = [], []
+        for spec in self.aggs:
+            out_names.append(spec.out_name)
+            out_cols.append(_aggregate(spec, batch, group_ids, ngroups))
+        return ColumnBatch(out_names, out_cols)
+
+
+def _aggregate(
+    spec: AggSpec, batch: ColumnBatch, group_ids: np.ndarray, ngroups: int
+) -> Column:
+    """Compute one aggregate over grouped rows.
+
+    The engine has no NULLs; over empty input a scalar aggregate yields 0 for
+    COUNT/integer SUM and NaN for floating-point results (documented
+    simplification).
+    """
+    if spec.arg is None:  # COUNT(*)
+        counts = np.bincount(group_ids, minlength=ngroups)
+        return Column(DataType.INT64, counts.astype(np.int64))
+
+    arg_col = spec.arg.evaluate(batch)
+    if spec.distinct and len(arg_col):
+        value_codes, card = _codes_of(arg_col)
+        pair_codes = group_ids * np.int64(max(card, 1)) + value_codes
+        keep = first_occurrence_indices(pair_codes)
+        group_ids = group_ids[keep]
+        arg_col = arg_col.take(keep)
+
+    if spec.func == "count":
+        counts = np.bincount(group_ids, minlength=ngroups)
+        return Column(DataType.INT64, counts.astype(np.int64))
+    if spec.func in ("sum", "avg"):
+        values = arg_col.values.astype(np.float64)
+        sums = np.bincount(group_ids, weights=values, minlength=ngroups)
+        if spec.func == "avg":
+            counts = np.bincount(group_ids, minlength=ngroups)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                result = sums / counts
+            return Column(DataType.FLOAT64, result)
+        if spec.dtype is DataType.INT64:
+            return Column(DataType.INT64, sums.astype(np.int64))
+        return Column(DataType.FLOAT64, sums)
+    if spec.func in ("min", "max"):
+        return _min_max(spec, arg_col, group_ids, ngroups)
+    raise ExecutionError(f"unknown aggregate {spec.func!r}")
+
+
+def _codes_of(column: Column) -> tuple[np.ndarray, int]:
+    values = column.key_values()
+    uniques, inverse = np.unique(values, return_inverse=True)
+    return inverse.astype(np.int64), len(uniques)
+
+
+def _min_max(
+    spec: AggSpec, arg_col: Column, group_ids: np.ndarray, ngroups: int
+) -> Column:
+    if arg_col.dtype is DataType.STRING:
+        codes, _ = _codes_of(arg_col)
+        uniques = np.unique(arg_col.key_values())
+        best = _extreme_per_group(codes, group_ids, ngroups, spec.func)
+        values = [str(uniques[int(c)]) if c >= 0 else "" for c in best]
+        return Column.from_pylist(DataType.STRING, values)
+    values = arg_col.values
+    if spec.func == "min":
+        fill = np.inf if values.dtype.kind == "f" else np.iinfo(np.int64).max
+        out = np.full(ngroups, fill, dtype=np.float64)
+        np.minimum.at(out, group_ids, values.astype(np.float64))
+    else:
+        fill = -np.inf if values.dtype.kind == "f" else np.iinfo(np.int64).min
+        out = np.full(ngroups, fill, dtype=np.float64)
+        np.maximum.at(out, group_ids, values.astype(np.float64))
+    counts = np.bincount(group_ids, minlength=ngroups)
+    if spec.dtype in (DataType.INT64, DataType.TIMESTAMP):
+        out = np.where(counts > 0, out, 0.0)
+        return Column(spec.dtype, out.astype(np.int64))
+    # Empty groups yield NaN for floating-point extremes (no-NULL engine).
+    out = np.where(counts > 0, out, np.nan)
+    return Column(DataType.FLOAT64, out)
+
+
+def _extreme_per_group(
+    codes: np.ndarray, group_ids: np.ndarray, ngroups: int, func: str
+) -> np.ndarray:
+    out = np.full(ngroups, -1, dtype=np.int64)
+    if len(codes) == 0:
+        return out
+    if func == "min":
+        big = codes.max() + 1
+        tmp = np.full(ngroups, big, dtype=np.int64)
+        np.minimum.at(tmp, group_ids, codes)
+        counts = np.bincount(group_ids, minlength=ngroups)
+        out = np.where(counts > 0, tmp, -1)
+    else:
+        tmp = np.full(ngroups, -1, dtype=np.int64)
+        np.maximum.at(tmp, group_ids, codes)
+        out = tmp
+    return out
+
+
+@dataclass
+class PSort(PhysicalOp):
+    child: PhysicalOp
+    keys: list[tuple[Expr, bool]]
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        batch = self.child.execute(ctx)
+        if batch.num_rows == 0:
+            return batch
+        key_cols = [expr.evaluate(batch) for expr, _ in self.keys]
+        ascending = [asc for _, asc in self.keys]
+        order = sort_indices(key_cols, ascending)
+        return batch.take(order)
+
+
+@dataclass
+class PLimit(PhysicalOp):
+    child: PhysicalOp
+    count: int
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        batch = self.child.execute(ctx)
+        return batch.slice(0, self.count)
+
+
+@dataclass
+class PDistinct(PhysicalOp):
+    child: PhysicalOp
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        batch = self.child.execute(ctx)
+        if batch.num_rows == 0:
+            return batch
+        codes = combined_codes(batch.columns)
+        keep = first_occurrence_indices(codes)
+        return batch.take(keep)
+
+
+@dataclass
+class PUnionAll(PhysicalOp):
+    children: list[PhysicalOp]
+    output_names: list[str]
+    output_dtypes: list[DataType]
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        batches = [child.execute(ctx) for child in self.children]
+        batches = [b for b in batches if b.num_rows > 0]
+        if not batches:
+            return ColumnBatch.empty_like(self.output_names, self.output_dtypes)
+        # Normalize column order to the declared output layout.
+        batches = [b.select(self.output_names) for b in batches]
+        return concat_batches(batches)
+
+
+@dataclass
+class PResultScan(PhysicalOp):
+    """Re-read a stored sub-plan result (stage-1 feed into stage 2)."""
+
+    tag: str
+    expected_keys: list[str]
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        batch = ctx.results.get(self.tag)
+        if batch is None:
+            raise ExecutionError(f"no stored result under tag {self.tag!r}")
+        return batch.select(self.expected_keys)
+
+
+@dataclass
+class PMount(PhysicalOp):
+    """ALi: extract–transform–ingest one external file on demand."""
+
+    uri: str
+    table_name: str
+    alias: str
+    predicate: Optional[Expr]
+    output_names: list[str]
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        if ctx.mounter is None:
+            raise ExecutionError(
+                f"plan contains Mount({self.uri}) but no mounter is configured"
+            )
+        batch = ctx.mounter.mount_file(
+            self.uri, self.table_name, self.alias, self.predicate
+        )
+        ctx.stats.files_mounted += 1
+        return batch.select(self.output_names)
+
+
+@dataclass
+class PCacheScan(PhysicalOp):
+    """Read one file's ingested tuples from the cache."""
+
+    uri: str
+    table_name: str
+    alias: str
+    predicate: Optional[Expr]
+    output_names: list[str]
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        if ctx.mounter is None:
+            raise ExecutionError(
+                f"plan contains CacheScan({self.uri}) but no mounter is configured"
+            )
+        batch = ctx.mounter.cache_scan(
+            self.uri, self.table_name, self.alias, self.predicate
+        )
+        ctx.stats.cache_scans += 1
+        return batch.select(self.output_names)

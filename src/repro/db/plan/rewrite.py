@@ -1,0 +1,242 @@
+"""Compile-time logical rewrite rules.
+
+Three families of rules run before execution:
+
+* classic normalization — selection splitting/pushdown, turning cartesian
+  products plus predicates into joins ("combine selections and cross-products
+  into joins, push down selections" — §3),
+* the paper's **metadata-first join reordering**: flatten the join tree and
+  rebuild it right-deep in the pattern
+  ``a1 ⋈ (a2 ⋈ (… (ay ⋈ (m1 ⋈ (m2 ⋈ (… ⋈ mx))))))``
+  so the metadata branch ``Q_f`` is a connected subtree that can be cut off
+  and run as stage 1,
+* column pruning, so scans only materialize (and charge I/O for) columns the
+  query needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..expr import Expr, conjoin, conjuncts
+from .logical import (
+    Aggregate,
+    Distinct,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Select,
+    SemiJoin,
+    Sort,
+    UnionAll,
+)
+
+ClassifyFn = Callable[[str], bool]  # table name -> is metadata table
+
+
+# -- selection pushdown ------------------------------------------------------------
+
+
+def push_down_selections(plan: LogicalPlan) -> LogicalPlan:
+    """Sink selection conjuncts as far down the tree as their columns allow."""
+    return _push(plan, [])
+
+
+def _push(plan: LogicalPlan, pending: list[Expr]) -> LogicalPlan:
+    """Rebuild ``plan`` with ``pending`` predicates applied as low as possible."""
+    if isinstance(plan, Select):
+        return _push(plan.child, pending + conjuncts(plan.predicate))
+    if isinstance(plan, Join):
+        available_left = set(plan.left.output_keys())
+        available_right = set(plan.right.output_keys())
+        left_preds: list[Expr] = []
+        right_preds: list[Expr] = []
+        join_preds: list[Expr] = list(
+            conjuncts(plan.condition) if plan.condition is not None else []
+        )
+        for pred in pending:
+            refs = pred.references()
+            if refs <= available_left:
+                left_preds.append(pred)
+            elif refs <= available_right:
+                right_preds.append(pred)
+            else:
+                join_preds.append(pred)
+        # Join-condition conjuncts that turn out to be single-sided sink too.
+        sunk_condition: list[Expr] = []
+        for pred in join_preds:
+            refs = pred.references()
+            if refs <= available_left:
+                left_preds.append(pred)
+            elif refs <= available_right:
+                right_preds.append(pred)
+            else:
+                sunk_condition.append(pred)
+        left = _push(plan.left, left_preds)
+        right = _push(plan.right, right_preds)
+        return Join(left, right, conjoin(sunk_condition))
+    if isinstance(plan, UnionAll):
+        inputs = [_push(child, list(pending)) for child in plan.inputs]
+        return UnionAll(inputs)
+    if isinstance(plan, (Sort, Limit, Distinct)):
+        # Filters commute with ordering and (for bag semantics) with limit only
+        # when limit is above them — keep predicates above these operators.
+        child = _push(plan.children()[0], [])
+        rebuilt = plan.with_children([child])
+        return _apply_pending(rebuilt, pending)
+    # Project, Aggregate, scans, access paths: stop sinking here.
+    children = [_push(child, []) for child in plan.children()]
+    rebuilt = plan.with_children(children) if children else plan
+    return _apply_pending(rebuilt, pending)
+
+
+def _apply_pending(plan: LogicalPlan, pending: list[Expr]) -> LogicalPlan:
+    predicate = conjoin(pending)
+    if predicate is None:
+        return plan
+    return Select(plan, predicate)
+
+
+# -- metadata-first join reordering ----------------------------------------------
+
+
+def _is_join_tree(plan: LogicalPlan) -> bool:
+    return isinstance(plan, Join)
+
+
+def _flatten_join_tree(
+    plan: LogicalPlan,
+) -> tuple[list[LogicalPlan], list[Expr]]:
+    """Split a tree of inner joins into base relations and join predicates."""
+    if isinstance(plan, Join):
+        left_rels, left_preds = _flatten_join_tree(plan.left)
+        right_rels, right_preds = _flatten_join_tree(plan.right)
+        predicates = left_preds + right_preds
+        if plan.condition is not None:
+            predicates.extend(conjuncts(plan.condition))
+        return left_rels + right_rels, predicates
+    return [plan], []
+
+
+def _is_metadata_relation(relation: LogicalPlan, classify: ClassifyFn) -> bool:
+    """A relation is metadata when every Scan leaf is a metadata table."""
+    scans = [node for node in relation.walk() if isinstance(node, Scan)]
+    if not scans:
+        return False
+    return all(classify(scan.table_name) for scan in scans)
+
+
+def metadata_first_join_order(
+    plan: LogicalPlan, classify: ClassifyFn
+) -> LogicalPlan:
+    """Apply the paper's join reordering recursively over the plan.
+
+    Joins between metadata tables are collected together and pushed down
+    (made innermost) so that the highest metadata-only branch — the future
+    ``Q_f`` — is as large as possible.
+    """
+    if _is_join_tree(plan):
+        relations, predicates = _flatten_join_tree(plan)
+        relations = [
+            metadata_first_join_order_children(rel, classify) for rel in relations
+        ]
+        return _rebuild_right_deep(relations, predicates, classify)
+    return metadata_first_join_order_children(plan, classify)
+
+
+def metadata_first_join_order_children(
+    plan: LogicalPlan, classify: ClassifyFn
+) -> LogicalPlan:
+    children = [metadata_first_join_order(c, classify) for c in plan.children()]
+    return plan.with_children(children) if children else plan
+
+
+def _rebuild_right_deep(
+    relations: list[LogicalPlan],
+    predicates: list[Expr],
+    classify: ClassifyFn,
+) -> LogicalPlan:
+    """Rebuild ``a1 ⋈ (a2 ⋈ (… (m1 ⋈ (… ⋈ mx))))`` placing each predicate at
+    the lowest join where its columns are all in scope."""
+    metadata_rels = [r for r in relations if _is_metadata_relation(r, classify)]
+    actual_rels = [r for r in relations if not _is_metadata_relation(r, classify)]
+    ordered = actual_rels + metadata_rels  # innermost = last
+    remaining = list(predicates)
+
+    current = ordered[-1]
+    available = set(current.output_keys())
+    for relation in reversed(ordered[:-1]):
+        available |= set(relation.output_keys())
+        applicable = [p for p in remaining if p.references() <= available]
+        remaining = [p for p in remaining if p not in applicable]
+        current = Join(relation, current, conjoin(applicable))
+    if remaining:
+        # Predicates referencing columns outside the join tree (defensive).
+        current = Select(current, conjoin(remaining))
+    return current
+
+
+# -- column pruning -----------------------------------------------------------
+
+
+def prune_columns(plan: LogicalPlan) -> LogicalPlan:
+    """Trim Scan outputs to the columns the rest of the plan references."""
+    return _prune(plan, set(plan.output_keys()))
+
+
+def _prune(plan: LogicalPlan, required: set[str]) -> LogicalPlan:
+    if isinstance(plan, Scan):
+        kept = [(key, dtype) for key, dtype in plan.output if key in required]
+        if not kept:  # e.g. COUNT(*) needs some column to count rows
+            kept = [plan.output[0]]
+        return Scan(plan.table_name, plan.alias, kept)
+    if isinstance(plan, Select):
+        child = _prune(plan.child, required | plan.predicate.references())
+        return Select(child, plan.predicate)
+    if isinstance(plan, Project):
+        needed: set[str] = set()
+        for _, expr in plan.items:
+            needed |= expr.references()
+        return Project(_prune(plan.child, needed), plan.items)
+    if isinstance(plan, Join):
+        needed = set(required)
+        if plan.condition is not None:
+            needed |= plan.condition.references()
+        left_keys = set(plan.left.output_keys())
+        right_keys = set(plan.right.output_keys())
+        left = _prune(plan.left, needed & left_keys)
+        right = _prune(plan.right, needed & right_keys)
+        return Join(left, right, plan.condition)
+    if isinstance(plan, Aggregate):
+        needed = set()
+        for _, expr in plan.groups:
+            needed |= expr.references()
+        for spec in plan.aggs:
+            if spec.arg is not None:
+                needed |= spec.arg.references()
+        if not needed and isinstance(plan.child, LogicalPlan):
+            # COUNT(*) with no groups: child still must produce its row count.
+            needed = set(plan.child.output_keys()[:1])
+        return Aggregate(_prune(plan.child, needed), plan.groups, plan.aggs)
+    if isinstance(plan, Sort):
+        needed = set(required)
+        for expr, _ in plan.keys:
+            needed |= expr.references()
+        return Sort(_prune(plan.child, needed), plan.keys)
+    if isinstance(plan, (Limit, Distinct)):
+        child = _prune(plan.children()[0], required)
+        return plan.with_children([child])
+    if isinstance(plan, SemiJoin):
+        child = _prune(plan.child, required | plan.operand.references())
+        subplan = _prune(plan.subplan, set(plan.subplan.output_keys()))
+        return SemiJoin(child, plan.operand, subplan, plan.negated)
+    if isinstance(plan, UnionAll):
+        # Branch outputs must stay aligned; prune each with the same keys.
+        return UnionAll([_prune(child, required) for child in plan.inputs])
+    # Access paths (ResultScan/CacheScan/Mount) keep their full output.
+    children = [
+        _prune(child, set(child.output_keys())) for child in plan.children()
+    ]
+    return plan.with_children(children) if children else plan

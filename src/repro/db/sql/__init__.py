@@ -1,0 +1,35 @@
+"""SQL front-end: lexer, untyped AST, and recursive-descent parser."""
+
+from .ast import (
+    EBetween,
+    EBinary,
+    EColumn,
+    EFunc,
+    EIn,
+    ELiteral,
+    EStar,
+    EUnary,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+    TableRef,
+)
+from .parser import parse_sql
+
+__all__ = [
+    "parse_sql",
+    "SelectStmt",
+    "SelectItem",
+    "TableRef",
+    "JoinClause",
+    "OrderItem",
+    "EColumn",
+    "ELiteral",
+    "EBinary",
+    "EUnary",
+    "EFunc",
+    "EBetween",
+    "EIn",
+    "EStar",
+]

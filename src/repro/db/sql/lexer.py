@@ -1,0 +1,156 @@
+"""Hand-written SQL lexer.
+
+Produces a flat token stream; the parser consumes it with one token of
+lookahead. Keywords are case-insensitive; identifiers keep their spelling but
+compare case-insensitively downstream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import SqlSyntaxError
+
+KEYWORDS = {
+    "select", "distinct", "from", "join", "inner", "cross", "on", "where",
+    "and", "or", "not", "group", "by", "having", "order", "asc", "desc",
+    "limit", "as", "between", "in", "true", "false", "is", "null",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"  # ( ) , . *
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: Any
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "/", "%")
+_PUNCT = "(),.*"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):  # line comment
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError("unterminated string literal", i)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), i))
+            i = j + 1
+            continue
+        # ASCII digits only: str.isdigit() accepts Unicode digits (e.g. '¹')
+        # that int()/float() reject.
+        ascii_digits = "0123456789"
+        if ch in ascii_digits or (
+            ch == "." and i + 1 < n and text[i + 1] in ascii_digits
+        ):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c in ascii_digits:
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    # Only an exponent when digits actually follow.
+                    k = j + 1
+                    if k < n and text[k] in "+-":
+                        k += 1
+                    if k < n and text[k] in ascii_digits:
+                        seen_exp = True
+                        j = k
+                    else:
+                        break
+                else:
+                    break
+            raw = text[i:j]
+            value: Any
+            try:
+                if seen_dot or seen_exp:
+                    value = float(raw)
+                else:
+                    value = int(raw)
+            except ValueError as exc:  # pragma: no cover - defensive
+                raise SqlSyntaxError(f"bad numeric literal {raw!r}", i) from exc
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = j
+            continue
+        if ch == '"':  # quoted identifier
+            end = text.find('"', i + 1)
+            if end == -1:
+                raise SqlSyntaxError("unterminated quoted identifier", i)
+            tokens.append(Token(TokenType.IDENT, text[i + 1:end], i))
+            i = end + 1
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                canonical = "<>" if op == "!=" else op
+                tokens.append(Token(TokenType.OPERATOR, canonical, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        if ch == ";":
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.END, None, n))
+    return tokens

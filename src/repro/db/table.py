@@ -1,0 +1,155 @@
+"""Column-store tables and the batch type exchanged by operators.
+
+A :class:`ColumnBatch` is a named collection of equal-length columns — the
+unit of data flow in the operator-at-a-time execution model (each physical
+operator materializes its full result, MonetDB style). A :class:`Table` is a
+ColumnBatch with a schema, held by the catalog.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from .column import Column, concat_columns
+from .errors import ExecutionError
+from .schema import TableSchema
+from .types import DataType
+
+
+class ColumnBatch:
+    """Equal-length named columns; the value every operator produces."""
+
+    __slots__ = ("names", "columns")
+
+    def __init__(self, names: Sequence[str], columns: Sequence[Column]) -> None:
+        if len(names) != len(columns):
+            raise ExecutionError("names and columns length mismatch")
+        lengths = {len(col) for col in columns}
+        if len(lengths) > 1:
+            raise ExecutionError(f"ragged batch: column lengths {sorted(lengths)}")
+        self.names = list(names)
+        self.columns = list(columns)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def __repr__(self) -> str:
+        return f"ColumnBatch({self.names}, rows={self.num_rows})"
+
+    def column(self, name: str) -> Column:
+        lowered = name.lower()
+        for cname, col in zip(self.names, self.columns):
+            if cname.lower() == lowered:
+                return col
+        raise ExecutionError(f"batch has no column {name!r}; has {self.names}")
+
+    def column_index(self, name: str) -> int:
+        lowered = name.lower()
+        for i, cname in enumerate(self.names):
+            if cname.lower() == lowered:
+                return i
+        raise ExecutionError(f"batch has no column {name!r}; has {self.names}")
+
+    def take(self, indices: np.ndarray) -> "ColumnBatch":
+        return ColumnBatch(self.names, [c.take(indices) for c in self.columns])
+
+    def filter(self, mask: np.ndarray) -> "ColumnBatch":
+        return ColumnBatch(self.names, [c.filter(mask) for c in self.columns])
+
+    def slice(self, start: int, stop: int) -> "ColumnBatch":
+        return ColumnBatch(self.names, [c.slice(start, stop) for c in self.columns])
+
+    def select(self, names: Sequence[str]) -> "ColumnBatch":
+        return ColumnBatch(list(names), [self.column(n) for n in names])
+
+    def rows(self) -> list[tuple[Any, ...]]:
+        """Materialize as Python row tuples (for results and tests)."""
+        pylists = [col.to_pylist() for col in self.columns]
+        return list(zip(*pylists)) if pylists else []
+
+    def nbytes(self) -> int:
+        return sum(col.nbytes() for col in self.columns)
+
+    @classmethod
+    def empty_like(cls, names: Sequence[str], dtypes: Sequence[DataType]) -> "ColumnBatch":
+        return cls(list(names), [Column.empty(dt) for dt in dtypes])
+
+
+def concat_batches(batches: Sequence[ColumnBatch]) -> ColumnBatch:
+    """Vertically concatenate batches with identical column layout."""
+    if not batches:
+        raise ExecutionError("concat_batches requires at least one batch")
+    names = batches[0].names
+    for batch in batches[1:]:
+        if [n.lower() for n in batch.names] != [n.lower() for n in names]:
+            raise ExecutionError(
+                f"batch layout mismatch: {batch.names} vs {names}"
+            )
+    columns = [
+        concat_columns([b.columns[i] for b in batches]) for i in range(len(names))
+    ]
+    return ColumnBatch(names, columns)
+
+
+class Table:
+    """A schema-bearing column store table registered in the catalog."""
+
+    def __init__(self, schema: TableSchema, batch: ColumnBatch | None = None) -> None:
+        self.schema = schema
+        if batch is None:
+            batch = ColumnBatch.empty_like(
+                schema.column_names, [c.dtype for c in schema.columns]
+            )
+        self._check_layout(batch)
+        self.batch = batch
+
+    def _check_layout(self, batch: ColumnBatch) -> None:
+        expected = [c.name.lower() for c in self.schema.columns]
+        actual = [n.lower() for n in batch.names]
+        if expected != actual:
+            raise ExecutionError(
+                f"table {self.schema.name!r}: batch columns {actual} "
+                f"do not match schema {expected}"
+            )
+        for col_def, col in zip(self.schema.columns, batch.columns):
+            if col.dtype != col_def.dtype:
+                raise ExecutionError(
+                    f"table {self.schema.name!r} column {col_def.name!r}: "
+                    f"expected {col_def.dtype.value}, got {col.dtype.value}"
+                )
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def num_rows(self) -> int:
+        return self.batch.num_rows
+
+    def append(self, batch: ColumnBatch) -> None:
+        """Append rows (used by ingestion); columns must match the schema."""
+        self._check_layout(batch)
+        if self.batch.num_rows == 0:
+            self.batch = batch
+        else:
+            self.batch = concat_batches([self.batch, batch])
+
+    def replace(self, batch: ColumnBatch) -> None:
+        self._check_layout(batch)
+        self.batch = batch
+
+    def truncate(self) -> None:
+        self.batch = ColumnBatch.empty_like(
+            self.schema.column_names, [c.dtype for c in self.schema.columns]
+        )
+
+    def nbytes(self) -> int:
+        return self.batch.nbytes()

@@ -1,0 +1,191 @@
+"""An automated explorer: the paper's title, literally.
+
+:class:`EventHunter` drives the same loop a seismologist would run by hand
+(§1: quick look → zoom in/out → move on), but mechanically:
+
+1. **survey** — one cheap quick-look (Query 1 style energy aggregate) per
+   station-channel-day, ranked;
+2. **investigate** — retrieve the most promising waveforms (Query 2 style)
+   and run the STA/LTA detector over them;
+3. **zoom** — re-query a tight window around each detection to confirm it.
+
+Because it runs through the two-stage executor, the survey phase touches
+only the files it asks about and the whole hunt mounts a small fraction of
+the repository — the thing the paradigm was built for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from ..core.executor import TwoStageExecutor
+from ..db.database import Database
+from ..db.types import format_timestamp, parse_timestamp
+from .detect import DetectedEvent, detect_events
+from .session import ExplorationSession
+
+_DAY_US = 86_400 * 1_000_000
+
+
+@dataclass(frozen=True)
+class SurveyEntry:
+    """One quick-look result: how energetic a station-channel-day was."""
+
+    station: str
+    channel: str
+    day: str
+    energy: float  # mean |value| proxy from the quick look
+
+
+@dataclass(frozen=True)
+class ConfirmedEvent:
+    """One confirmed detection with its confirming zoom."""
+
+    station: str
+    channel: str
+    peak_ratio: float
+    start_time: int  # µs
+    end_time: int
+    zoom_rows: int
+
+
+@dataclass
+class HuntReport:
+    """Everything one hunt did and found."""
+
+    survey: list[SurveyEntry] = field(default_factory=list)
+    events: list[ConfirmedEvent] = field(default_factory=list)
+    queries_run: int = 0
+    files_mounted: int = 0
+
+    def summary(self) -> str:
+        lines = [
+            f"hunt: {self.queries_run} queries, {self.files_mounted} file "
+            f"mounts, {len(self.events)} confirmed event(s)"
+        ]
+        for event in self.events:
+            lines.append(
+                f"  {event.station}/{event.channel} "
+                f"{format_timestamp(event.start_time)} .. "
+                f"{format_timestamp(event.end_time)} "
+                f"(STA/LTA peak {event.peak_ratio:.1f})"
+            )
+        return "\n".join(lines)
+
+
+class EventHunter:
+    """Automated event hunting over a repository via two-stage execution."""
+
+    def __init__(
+        self,
+        engine: Union[Database, TwoStageExecutor],
+        stations: list[str],
+        channels: list[str],
+        start_day: str,
+        days: int,
+        sta_window: int = 8,
+        lta_window: int = 120,
+        on_threshold: float = 6.0,
+        investigate_top: int = 2,
+        max_events_per_target: int = 3,
+    ) -> None:
+        self.session = ExplorationSession(engine)
+        self.stations = stations
+        self.channels = channels
+        self.start_day = start_day
+        self.days = days
+        self.sta_window = sta_window
+        self.lta_window = lta_window
+        self.on_threshold = on_threshold
+        self.investigate_top = investigate_top
+        self.max_events_per_target = max_events_per_target
+
+    # -- phase 1: survey -----------------------------------------------------
+
+    def survey(self) -> list[SurveyEntry]:
+        """Rank station-channel-days by quick-look energy (cheap queries)."""
+        entries = []
+        day0 = parse_timestamp(self.start_day)
+        for day_index in range(self.days):
+            day = format_timestamp(day0 + day_index * _DAY_US)[:10]
+            for station in self.stations:
+                for channel in self.channels:
+                    sql = (
+                        "SELECT AVG(D.sample_value * D.sample_value) "
+                        "FROM F JOIN D ON F.uri = D.uri "
+                        f"WHERE F.station = '{station}' "
+                        f"AND F.channel = '{channel}' "
+                        f"AND D.sample_time > '{day}T00:00:00' "
+                        f"AND D.sample_time < '{day}T23:59:59'"
+                    )
+                    value = self.session.run(sql, note="survey").scalar()
+                    energy = float(value) if value == value else 0.0  # NaN→0
+                    entries.append(SurveyEntry(station, channel, day, energy))
+        entries.sort(key=lambda e: e.energy, reverse=True)
+        return entries
+
+    # -- phase 2/3: investigate and zoom -----------------------------------------
+
+    def _investigate(self, entry: SurveyEntry) -> list[ConfirmedEvent]:
+        result = self.session.run(
+            "SELECT D.sample_time, D.sample_value "
+            "FROM F JOIN D ON F.uri = D.uri "
+            f"WHERE F.station = '{entry.station}' "
+            f"AND F.channel = '{entry.channel}' "
+            f"AND D.sample_time > '{entry.day}T00:00:00' "
+            f"AND D.sample_time < '{entry.day}T23:59:59' "
+            "ORDER BY D.sample_time",
+            note=f"investigate {entry.station}/{entry.channel}",
+        )
+        values = np.asarray(result.column("sample_value"), dtype=np.float64)
+        times = np.asarray(result.column("sample_time"), dtype=np.int64)
+        if len(values) <= self.lta_window:
+            return []
+        detections = detect_events(
+            values, self.sta_window, self.lta_window, self.on_threshold
+        )
+        confirmed = []
+        for event in detections[: self.max_events_per_target]:
+            confirmed.append(self._zoom(entry, times, event))
+        return confirmed
+
+    def _zoom(
+        self, entry: SurveyEntry, times: np.ndarray, event: DetectedEvent
+    ) -> ConfirmedEvent:
+        start = int(times[event.start_index])
+        end = int(times[min(event.end_index, len(times) - 1)])
+        pad = 60 * 1_000_000
+        zoomed = self.session.run(
+            "SELECT D.sample_time, D.sample_value "
+            "FROM F JOIN D ON F.uri = D.uri "
+            f"WHERE F.station = '{entry.station}' "
+            f"AND F.channel = '{entry.channel}' "
+            f"AND D.sample_time > '{format_timestamp(start - pad)}' "
+            f"AND D.sample_time < '{format_timestamp(end + pad)}'",
+            note="zoom",
+        )
+        return ConfirmedEvent(
+            station=entry.station,
+            channel=entry.channel,
+            peak_ratio=event.peak_ratio,
+            start_time=start,
+            end_time=end,
+            zoom_rows=zoomed.num_rows,
+        )
+
+    def hunt(self) -> HuntReport:
+        """Run the full loop and report what was found and what it cost."""
+        report = HuntReport()
+        report.survey = self.survey()
+        for entry in report.survey[: self.investigate_top]:
+            if entry.energy <= 0:
+                continue
+            report.events.extend(self._investigate(entry))
+        report.queries_run = len(self.session.history)
+        report.files_mounted = sum(
+            e.files_mounted for e in self.session.history
+        )
+        return report

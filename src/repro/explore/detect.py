@@ -1,0 +1,71 @@
+"""STA/LTA event detection — the seismologist's analysis over query results.
+
+Query 1 of the paper "expresses the short term averaging task performed by
+seismologists while hunting for interesting seismic events". The classic
+detector compares a Short-Term Average to a Long-Term Average of the signal
+energy; a ratio above threshold flags an event onset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def sta_lta(values: np.ndarray, sta_window: int, lta_window: int) -> np.ndarray:
+    """The STA/LTA ratio of a signal's energy.
+
+    ``values`` is the raw waveform; windows are in samples, with
+    ``sta_window < lta_window``. The first ``lta_window`` entries are 0 (not
+    enough history). Vectorized via cumulative sums.
+    """
+    if sta_window < 1 or lta_window <= sta_window:
+        raise ValueError("require 1 <= sta_window < lta_window")
+    energy = np.asarray(values, dtype=np.float64) ** 2
+    csum = np.concatenate([[0.0], np.cumsum(energy)])
+    n = len(energy)
+    ratio = np.zeros(n)
+    idx = np.arange(lta_window, n)
+    sta = (csum[idx + 1] - csum[idx + 1 - sta_window]) / sta_window
+    lta = (csum[idx + 1] - csum[idx + 1 - lta_window]) / lta_window
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio[idx] = np.where(lta > 0, sta / lta, 0.0)
+    return ratio
+
+
+@dataclass(frozen=True)
+class DetectedEvent:
+    """One detected onset: sample index span and peak ratio."""
+
+    start_index: int
+    end_index: int
+    peak_ratio: float
+
+
+def detect_events(
+    values: np.ndarray,
+    sta_window: int,
+    lta_window: int,
+    on_threshold: float = 4.0,
+    off_threshold: float = 1.5,
+) -> list[DetectedEvent]:
+    """Threshold the STA/LTA ratio with on/off hysteresis."""
+    ratio = sta_lta(values, sta_window, lta_window)
+    events: list[DetectedEvent] = []
+    in_event = False
+    start = 0
+    peak = 0.0
+    for i, r in enumerate(ratio):
+        if not in_event and r >= on_threshold:
+            in_event = True
+            start = i
+            peak = r
+        elif in_event:
+            peak = max(peak, r)
+            if r < off_threshold:
+                events.append(DetectedEvent(start, i, float(peak)))
+                in_event = False
+    if in_event:
+        events.append(DetectedEvent(start, len(ratio) - 1, float(peak)))
+    return events

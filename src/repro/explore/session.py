@@ -1,0 +1,128 @@
+"""Exploration sessions: query sequences with data-to-insight accounting.
+
+§1's problem statement is temporal: "current database technology has a long
+data-to-insight time". A session therefore tracks, per query and in total,
+how long the explorer has been waiting — including the initialization
+(ingestion) that happened before the first query could run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from ..db.database import Database, QueryResult
+from ..db.types import format_timestamp, parse_timestamp
+from ..core.executor import TwoStageExecutor, TwoStageResult
+from .workload import make_query1, make_query2
+
+
+@dataclass
+class SessionEntry:
+    """One executed query in the session history."""
+
+    sql: str
+    rows: int
+    seconds: float  # wall CPU + simulated I/O
+    files_mounted: int = 0
+    cache_scans: int = 0
+    note: str = ""
+
+
+@dataclass
+class ExplorationSession:
+    """A stateful explorer session over either execution engine.
+
+    ``engine`` is a plain :class:`Database` (the Ei world: everything loaded
+    up-front) or a :class:`TwoStageExecutor` (the ALi world). The session API
+    is identical — the paper's point that the querying front-end does not
+    change.
+    """
+
+    engine: Union[Database, TwoStageExecutor]
+    setup_seconds: float = 0.0  # ingestion time before the session began
+    history: list[SessionEntry] = field(default_factory=list)
+
+    def run(self, sql: str, note: str = "") -> QueryResult:
+        started = time.perf_counter()
+        outcome = self.engine.execute(sql)
+        elapsed = time.perf_counter() - started
+        if isinstance(outcome, TwoStageResult):
+            result = outcome.result
+            mounted = result.stats.files_mounted
+            cache_scans = result.stats.cache_scans
+        else:
+            result = outcome
+            mounted = 0
+            cache_scans = 0
+        self.history.append(
+            SessionEntry(
+                sql=sql,
+                rows=result.num_rows,
+                seconds=elapsed + result.io.simulated_seconds,
+                files_mounted=mounted,
+                cache_scans=cache_scans,
+                note=note,
+            )
+        )
+        return result
+
+    # -- explorer verbs ----------------------------------------------------------
+
+    def quick_look(self, station: str, channel: str, day: str) -> Any:
+        """First contact with potential data of interest: a whole-day STA."""
+        day_start = parse_timestamp(day)
+        day_end = day_start + 86_400 * 1_000_000 - 1_000
+        sql = make_query1(
+            station, channel, day,
+            format_timestamp(day_start), format_timestamp(day_end),
+        )
+        return self.run(sql, note=f"quick look {station}/{channel} {day}").scalar()
+
+    def zoom(
+        self, station: str, day: str, window_start: str, window_end: str
+    ) -> QueryResult:
+        """Retrieve a waveform piece from all channels (the paper's Query 2)."""
+        sql = make_query2(station, day, window_start, window_end)
+        return self.run(sql, note=f"zoom {station} [{window_start}..{window_end}]")
+
+    def average(
+        self, station: str, channel: str, day: str,
+        window_start: str, window_end: str,
+    ) -> float:
+        """Short-term average over a window (the paper's Query 1)."""
+        sql = make_query1(station, channel, day, window_start, window_end)
+        return float(self.run(sql, note="short-term average").scalar())
+
+    # -- accounting ------------------------------------------------------------------
+
+    @property
+    def query_seconds(self) -> float:
+        return sum(entry.seconds for entry in self.history)
+
+    @property
+    def data_to_insight_seconds(self) -> float:
+        """Setup plus time until the *first* query answer — §1's headline."""
+        first = self.history[0].seconds if self.history else 0.0
+        return self.setup_seconds + first
+
+    @property
+    def total_seconds(self) -> float:
+        """Setup plus the whole query sequence."""
+        return self.setup_seconds + self.query_seconds
+
+    def report(self) -> str:
+        lines = [
+            f"setup (ingestion): {self.setup_seconds:.3f}s",
+            f"queries: {len(self.history)}, total {self.query_seconds:.3f}s",
+            f"data-to-insight: {self.data_to_insight_seconds:.3f}s",
+        ]
+        for i, entry in enumerate(self.history):
+            note = f" — {entry.note}" if entry.note else ""
+            lines.append(
+                f"  [{i}] {entry.seconds:.3f}s, {entry.rows} rows, "
+                f"{entry.files_mounted} mounts, {entry.cache_scans} "
+                f"cache-scans{note}"
+            )
+        return "\n".join(lines)

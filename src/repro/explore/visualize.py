@@ -1,0 +1,74 @@
+"""Terminal visualization of waveforms and detections.
+
+The paper's Query 2 exists "to visualize the data around a potentially
+interesting point"; these helpers give the examples and interactive sessions
+a dependency-free way to actually look at what a query returned.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def downsample(values: np.ndarray, buckets: int) -> np.ndarray:
+    """Reduce a series to ``buckets`` points, keeping per-bucket extremes.
+
+    Each bucket reports the value of largest magnitude inside it, so short
+    transients (seismic events!) survive the reduction — a plain mean would
+    wash them out.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if buckets < 1:
+        raise ValueError("buckets must be >= 1")
+    if len(values) == 0:
+        return np.empty(0)
+    if len(values) <= buckets:
+        return values.copy()
+    edges = np.linspace(0, len(values), buckets + 1).astype(np.int64)
+    out = np.empty(buckets)
+    for i in range(buckets):
+        chunk = values[edges[i]: max(edges[i + 1], edges[i] + 1)]
+        out[i] = chunk[np.argmax(np.abs(chunk))]
+    return out
+
+
+def sparkline(values: Sequence[float], width: int = 72) -> str:
+    """Render a series as one line of unicode block characters."""
+    data = downsample(np.asarray(values, dtype=np.float64), width)
+    if len(data) == 0:
+        return ""
+    lo, hi = float(data.min()), float(data.max())
+    if hi == lo:
+        return _BLOCKS[1] * len(data)
+    scaled = (data - lo) / (hi - lo) * (len(_BLOCKS) - 2) + 1
+    return "".join(_BLOCKS[int(round(v))] for v in scaled)
+
+
+def waveform_panel(
+    times: Sequence[int],
+    values: Sequence[float],
+    width: int = 72,
+    label: str = "",
+) -> str:
+    """A small multi-line panel: sparkline plus range annotations."""
+    from ..db.types import format_timestamp
+
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        return f"{label} (no samples)"
+    line = sparkline(values, width)
+    header = label or "waveform"
+    lines = [
+        f"{header}  [{len(values):,} samples]",
+        line,
+        (
+            f"t: {format_timestamp(int(times[0]))} .. "
+            f"{format_timestamp(int(times[-1]))}   "
+            f"y: {values.min():.1f} .. {values.max():.1f}"
+        ),
+    ]
+    return "\n".join(lines)

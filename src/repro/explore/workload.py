@@ -1,0 +1,194 @@
+"""Explorative workload generation.
+
+Provides the paper's two evaluation queries as parameterized templates and a
+generator of exploration sequences mimicking §1's loop: a quick look into
+potential data of interest, then zoom in/out, then move on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db.types import format_timestamp, parse_timestamp
+
+_DAY_US = 86_400 * 1_000_000
+
+
+def _ts(micros: int) -> str:
+    return format_timestamp(micros)
+
+
+def make_query1(
+    station: str,
+    channel: str,
+    day: str,
+    window_start: str,
+    window_end: str,
+) -> str:
+    """The paper's Query 1 (Figure 2): short-term average over one channel.
+
+    ``day`` bounds R.start_time to the day's records; the window bounds
+    D.sample_time to the short-term interval being averaged.
+    """
+    day_start = parse_timestamp(day)
+    day_end = day_start + _DAY_US - 1_000
+    return (
+        "SELECT AVG(D.sample_value)\n"
+        "FROM F JOIN R ON F.uri = R.uri\n"
+        "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id\n"
+        f"WHERE F.station = '{station}' AND F.channel = '{channel}'\n"
+        f"AND R.start_time > '{_ts(day_start)}'\n"
+        f"AND R.start_time < '{_ts(day_end)}'\n"
+        f"AND D.sample_time > '{window_start}'\n"
+        f"AND D.sample_time < '{window_end}'"
+    )
+
+
+def make_query2(
+    station: str,
+    day: str,
+    window_start: str,
+    window_end: str,
+) -> str:
+    """The paper's Query 2: retrieve a waveform piece from *all* channels at
+    a station, to visualize data around a potentially interesting point."""
+    day_start = parse_timestamp(day)
+    day_end = day_start + _DAY_US - 1_000
+    return (
+        "SELECT D.sample_time, D.sample_value\n"
+        "FROM F JOIN R ON F.uri = R.uri\n"
+        "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id\n"
+        f"WHERE F.station = '{station}'\n"
+        f"AND R.start_time > '{_ts(day_start)}'\n"
+        f"AND R.start_time < '{_ts(day_end)}'\n"
+        f"AND D.sample_time > '{window_start}'\n"
+        f"AND D.sample_time < '{window_end}'"
+    )
+
+
+class StepKind(enum.Enum):
+    QUICK_LOOK = "quick_look"
+    ZOOM_IN = "zoom_in"
+    ZOOM_OUT = "zoom_out"
+    MOVE_ON = "move_on"
+
+
+@dataclass(frozen=True)
+class ExplorationStep:
+    """One step of an exploration sequence."""
+
+    kind: StepKind
+    sql: str
+    station: str
+    window_us: tuple[int, int]
+
+
+def sweep_queries(
+    stations: list[str],
+    channels: list[str],
+    day: str,
+    window_start: str,
+    window_end: str,
+    fractions: list[float],
+    days: int = 1,
+) -> list[tuple[float, str]]:
+    """Queries touching a controlled fraction of the station×channel space.
+
+    Used by the data-of-interest sweep (DESIGN.md experiment X2): fraction 0
+    yields a query whose files of interest are empty (no station matches),
+    fraction 1 touches every station and channel. ``days`` widens the
+    record-time window; with the repository's full day count, fraction 1 is
+    the paper's worst case — the entire repository is of interest.
+    """
+    pairs = [(s, c) for s in stations for c in channels]
+    queries: list[tuple[float, str]] = []
+    for fraction in fractions:
+        count = round(fraction * len(pairs))
+        if count == 0:
+            sql = make_query1(
+                "NOSUCH", channels[0], day, window_start, window_end
+            )
+        else:
+            chosen = pairs[:count]
+            station_set = sorted({s for s, _ in chosen})
+            channel_set = sorted({c for _, c in chosen})
+            station_pred = " OR ".join(
+                f"F.station = '{s}'" for s in station_set
+            )
+            channel_pred = " OR ".join(
+                f"F.channel = '{c}'" for c in channel_set
+            )
+            day_start = parse_timestamp(day)
+            day_end = day_start + days * _DAY_US - 1_000
+            sql = (
+                "SELECT AVG(D.sample_value)\n"
+                "FROM F JOIN R ON F.uri = R.uri\n"
+                "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id\n"
+                f"WHERE ({station_pred}) AND ({channel_pred})\n"
+                f"AND R.start_time > '{_ts(day_start)}'\n"
+                f"AND R.start_time < '{_ts(day_end)}'\n"
+                f"AND D.sample_time > '{window_start}'\n"
+                f"AND D.sample_time < '{window_end}'"
+            )
+        queries.append((fraction, sql))
+    return queries
+
+
+def random_exploration(
+    stations: list[str],
+    channels: list[str],
+    start_day: str,
+    days: int,
+    steps: int,
+    seed: int = 7,
+    initial_window_s: int = 3600,
+) -> list[ExplorationStep]:
+    """A plausible exploration walk: quick look → zooms → move on.
+
+    Zooming halves/doubles the time window around the current focus; moving
+    on jumps to another station and day. Deterministic under ``seed``.
+    """
+    rng = np.random.default_rng(seed)
+    day0 = parse_timestamp(start_day)
+    sequence: list[ExplorationStep] = []
+
+    def random_focus() -> tuple[str, int]:
+        station = stations[int(rng.integers(len(stations)))]
+        day_idx = int(rng.integers(days))
+        center = (
+            day0
+            + day_idx * _DAY_US
+            + int(rng.integers(4, 20)) * 3_600 * 1_000_000
+        )
+        return station, center
+
+    station, center = random_focus()
+    window_us = initial_window_s * 1_000_000
+    kind = StepKind.QUICK_LOOK
+    for _ in range(steps):
+        lo, hi = center - window_us // 2, center + window_us // 2
+        day_anchor = day0 + ((lo - day0) // _DAY_US) * _DAY_US
+        channel = channels[int(rng.integers(len(channels)))]
+        if kind in (StepKind.QUICK_LOOK, StepKind.MOVE_ON):
+            sql = make_query1(
+                station, channel, _ts(day_anchor)[:10], _ts(lo), _ts(hi)
+            )
+        else:
+            sql = make_query2(station, _ts(day_anchor)[:10], _ts(lo), _ts(hi))
+        sequence.append(ExplorationStep(kind, sql, station, (lo, hi)))
+
+        roll = rng.random()
+        if roll < 0.45:
+            kind = StepKind.ZOOM_IN
+            window_us = max(window_us // 2, 60 * 1_000_000)
+        elif roll < 0.65:
+            kind = StepKind.ZOOM_OUT
+            window_us = min(window_us * 2, 12 * 3_600 * 1_000_000)
+        else:
+            kind = StepKind.MOVE_ON
+            station, center = random_focus()
+            window_us = initial_window_s * 1_000_000
+    return sequence

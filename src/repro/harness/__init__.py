@@ -1,0 +1,40 @@
+"""`repro.harness` — experiment setup and runners for the paper's evaluation."""
+
+from .setup import (
+    BenchEnvironment,
+    StandardQueries,
+    build_environment,
+    default_spec,
+    small_spec,
+    tiny_spec,
+)
+from .experiments import (
+    Fig3Entry,
+    Table1Row,
+    ingestion_report,
+    interest_sweep,
+    run_cold,
+    run_figure3,
+    run_hot,
+    run_table1,
+)
+from .reporting import render_figure3, render_table1
+
+__all__ = [
+    "BenchEnvironment",
+    "StandardQueries",
+    "build_environment",
+    "default_spec",
+    "small_spec",
+    "tiny_spec",
+    "Table1Row",
+    "Fig3Entry",
+    "run_table1",
+    "run_figure3",
+    "run_cold",
+    "run_hot",
+    "ingestion_report",
+    "interest_sweep",
+    "render_table1",
+    "render_figure3",
+]

@@ -1,0 +1,105 @@
+"""Paper-style rendering of experiment results."""
+
+from __future__ import annotations
+
+from .experiments import Fig3Entry, IngestionReport, SweepEntry, Table1Row
+
+
+def _human_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024 or unit == "TB":
+            return f"{value:,.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:,.1f} TB"
+
+
+def render_table1(row: Table1Row) -> str:
+    """The same row layout as the paper's Table 1: "Dataset and sizes"."""
+    lines = [
+        "Table 1: Dataset and sizes",
+        "records per table                      | size",
+        "F          R            D             | mSEED      DB(no keys)  +keys      ALi",
+        (
+            f"{row.f_records:<10,} {row.r_records:<12,} {row.d_records:<13,} | "
+            f"{_human_bytes(row.mseed_bytes):<10} "
+            f"{_human_bytes(row.monetdb_bytes):<12} "
+            f"{_human_bytes(row.keys_bytes):<10} "
+            f"{_human_bytes(row.ali_bytes)}"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def render_figure3(entries: list[Fig3Entry], files: int) -> str:
+    """Figure 3 as text: grouped series, seconds on a log scale in the
+    paper — rendered here as a table plus Ei/ALi ratios."""
+    lines = [f"Figure 3: Querying {files} files (seconds, avg of runs)"]
+    lines.append(f"{'query':<10} {'state':<6} {'Ei':>12} {'ALi':>12} {'Ei/ALi':>8}")
+    by_key = {(e.query, e.system, e.state): e.seconds for e in entries}
+    for query in ("Query 1", "Query 2"):
+        for state in ("COLD", "HOT"):
+            ei = by_key.get((query, "Ei", state), float("nan"))
+            ali = by_key.get((query, "ALi", state), float("nan"))
+            ratio = ei / ali if ali else float("inf")
+            lines.append(
+                f"{query:<10} {state:<6} {ei:>12.4f} {ali:>12.4f} {ratio:>8.2f}"
+            )
+    return "\n".join(lines)
+
+
+def render_figure3_chart(entries: list[Fig3Entry], files: int) -> str:
+    """Figure 3 as an ASCII bar chart with a log time axis, mirroring the
+    paper's log-scale plot."""
+    import math
+
+    seconds = [e.seconds for e in entries if e.seconds > 0]
+    if not seconds:
+        return "(no data)"
+    lo = min(seconds)
+    hi = max(seconds)
+    span = max(math.log10(hi) - math.log10(lo), 1e-9)
+    width = 46
+    lines = [
+        f"Figure 3: Querying {files} files — log-scale time "
+        f"({lo:.4f}s .. {hi:.4f}s)"
+    ]
+    order = sorted(
+        entries, key=lambda e: (e.query, e.state, e.system)
+    )
+    for entry in order:
+        frac = (math.log10(max(entry.seconds, lo)) - math.log10(lo)) / span
+        bar = "■" * max(1, int(round(frac * width)))
+        lines.append(
+            f"{entry.query} {entry.state:<4} {entry.system:<3} "
+            f"|{bar:<{width}}| {entry.seconds:9.4f}s"
+        )
+    return "\n".join(lines)
+
+
+def render_ingestion(report: IngestionReport) -> str:
+    lines = [
+        "Up-front ingestion (§4 text claims)",
+        f"  Ei   load: {report.ei_load_seconds:.3f}s  "
+        f"+ index build: {report.ei_index_seconds:.3f}s  "
+        f"(index/load ratio {report.index_to_load_ratio:.2f}x)",
+        f"  ALi  metadata load: {report.ali_load_seconds:.3f}s",
+        f"  initialization speedup (Ei total / ALi): {report.speedup:,.0f}x",
+        f"  storage: Ei {_human_bytes(report.ei_total_bytes)} vs "
+        f"ALi {_human_bytes(report.ali_bytes)} "
+        f"({report.space_ratio:,.0f}x less in the database)",
+    ]
+    return "\n".join(lines)
+
+
+def render_sweep(entries: list[SweepEntry]) -> str:
+    lines = [
+        "Data-of-interest sweep (best case -> worst case)",
+        f"{'fraction':>9} {'files':>6} {'seconds':>10}",
+    ]
+    for entry in entries:
+        lines.append(
+            f"{entry.fraction:>9.2f} {entry.files_of_interest:>6} "
+            f"{entry.seconds:>10.4f}"
+        )
+    return "\n".join(lines)

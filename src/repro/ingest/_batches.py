@@ -1,0 +1,96 @@
+"""Internal helpers turning extracted rows into column batches."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..db.column import Column, StringDictionary
+from ..db.table import ColumnBatch
+from ..db.types import DataType
+from .formats import FileMetaRow, MountedFile, RecordMetaRow
+
+
+def _string_column(values: Sequence[str]) -> Column:
+    dictionary = StringDictionary()
+    codes = dictionary.encode(values)
+    return Column(DataType.STRING, codes, dictionary)
+
+
+def file_rows_batch(rows: Sequence[FileMetaRow]) -> ColumnBatch:
+    return ColumnBatch(
+        [
+            "uri", "network", "station", "location", "channel",
+            "start_time", "end_time", "nrecords", "nsamples", "size_bytes",
+        ],
+        [
+            _string_column([r.uri for r in rows]),
+            _string_column([r.network for r in rows]),
+            _string_column([r.station for r in rows]),
+            _string_column([r.location for r in rows]),
+            _string_column([r.channel for r in rows]),
+            Column(DataType.TIMESTAMP,
+                   np.asarray([r.start_time for r in rows], dtype=np.int64)),
+            Column(DataType.TIMESTAMP,
+                   np.asarray([r.end_time for r in rows], dtype=np.int64)),
+            Column(DataType.INT64,
+                   np.asarray([r.nrecords for r in rows], dtype=np.int64)),
+            Column(DataType.INT64,
+                   np.asarray([r.nsamples for r in rows], dtype=np.int64)),
+            Column(DataType.INT64,
+                   np.asarray([r.size_bytes for r in rows], dtype=np.int64)),
+        ],
+    )
+
+
+def record_rows_batch(rows: Sequence[RecordMetaRow]) -> ColumnBatch:
+    return ColumnBatch(
+        ["uri", "record_id", "start_time", "end_time", "sample_rate", "nsamples"],
+        [
+            _string_column([r.uri for r in rows]),
+            Column(DataType.INT64,
+                   np.asarray([r.record_id for r in rows], dtype=np.int64)),
+            Column(DataType.TIMESTAMP,
+                   np.asarray([r.start_time for r in rows], dtype=np.int64)),
+            Column(DataType.TIMESTAMP,
+                   np.asarray([r.end_time for r in rows], dtype=np.int64)),
+            Column(DataType.FLOAT64,
+                   np.asarray([r.sample_rate for r in rows], dtype=np.float64)),
+            Column(DataType.INT64,
+                   np.asarray([r.nsamples for r in rows], dtype=np.int64)),
+        ],
+    )
+
+
+def mounted_files_batch(mounted: Sequence[MountedFile]) -> ColumnBatch:
+    """Stack mounted files into one D-layout batch (Ei's bulk load path)."""
+    dictionary = StringDictionary()
+    code_parts = []
+    for part in mounted:
+        code = dictionary.encode_one(part.uri)
+        code_parts.append(np.full(part.num_rows, code, dtype=np.int32))
+    if mounted:
+        codes = np.concatenate(code_parts)
+        record_id = np.concatenate([p.record_id for p in mounted])
+        sample_time = np.concatenate([p.sample_time for p in mounted])
+        sample_value = np.concatenate([p.sample_value for p in mounted])
+    else:
+        codes = np.empty(0, dtype=np.int32)
+        record_id = np.empty(0, dtype=np.int64)
+        sample_time = np.empty(0, dtype=np.int64)
+        sample_value = np.empty(0, dtype=np.float64)
+    return ColumnBatch(
+        ["uri", "record_id", "sample_time", "sample_value"],
+        [
+            Column(DataType.STRING, codes, dictionary),
+            Column(DataType.INT64, record_id),
+            Column(DataType.TIMESTAMP, sample_time),
+            Column(DataType.FLOAT64, sample_value),
+        ],
+    )
+
+
+def mounted_file_batch(part: MountedFile) -> ColumnBatch:
+    """One mounted file as a D-layout batch (the ALi mount path)."""
+    return mounted_files_batch([part])

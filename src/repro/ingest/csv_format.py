@@ -1,0 +1,136 @@
+"""CSV time-series format — the second format proving generalization.
+
+Layout of a ``.tscsv`` file::
+
+    # network=WX station=AMS location= channel=TMP sample_rate=0.0166667
+    # start_time=1263254400000000 nsamples=1440
+    t_us,value
+    1263254400000000,5.25
+    ...
+
+All metadata lives in the two comment lines, so
+:meth:`CsvExtractor.extract_metadata` reads a fixed small prefix of the file —
+the cheap-metadata property every format extractor must provide. The body is
+one record per file (record_id 0).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..db.errors import IngestError
+from .formats import ExtractedMetadata, FileMetaRow, MountedFile, RecordMetaRow
+
+SUFFIX = ".tscsv"
+
+
+def write_csv_timeseries(
+    path: str | Path,
+    network: str,
+    station: str,
+    location: str,
+    channel: str,
+    sample_rate: float,
+    start_time: int,
+    values: np.ndarray,
+) -> None:
+    """Write one CSV time-series file in the layout CsvExtractor reads."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    values = np.asarray(values, dtype=np.float64)
+    step = 1_000_000 / sample_rate
+    times = start_time + np.round(np.arange(len(values)) * step).astype(np.int64)
+    with open(path, "w") as handle:
+        handle.write(
+            f"# network={network} station={station} location={location} "
+            f"channel={channel} sample_rate={sample_rate!r}\n"
+        )
+        handle.write(f"# start_time={start_time} nsamples={len(values)}\n")
+        handle.write("t_us,value\n")
+        for t, v in zip(times, values):
+            handle.write(f"{int(t)},{float(v)!r}\n")
+
+
+def _parse_header(path: Path) -> dict[str, str]:
+    fields: dict[str, str] = {}
+    with open(path, "r") as handle:
+        for line in handle:
+            if not line.startswith("#"):
+                break
+            for token in line[1:].split():
+                if "=" in token:
+                    key, _, value = token.partition("=")
+                    fields[key] = value
+    required = {"station", "channel", "sample_rate", "start_time", "nsamples"}
+    missing = required - fields.keys()
+    if missing:
+        raise IngestError(f"{path}: missing header fields {sorted(missing)}")
+    return fields
+
+
+class CsvExtractor:
+    """CSV time-series → relational schema mapping."""
+
+    format_name = "csv-timeseries"
+    suffix = SUFFIX
+
+    def extract_metadata(self, path: Path, uri: str) -> ExtractedMetadata:
+        fields = _parse_header(path)
+        start_time = int(fields["start_time"])
+        nsamples = int(fields["nsamples"])
+        sample_rate = float(fields["sample_rate"])
+        if nsamples > 1 and sample_rate > 0:
+            end_time = start_time + round((nsamples - 1) * 1_000_000 / sample_rate)
+        else:
+            end_time = start_time
+        file_row = FileMetaRow(
+            uri=uri,
+            network=fields.get("network", ""),
+            station=fields["station"],
+            location=fields.get("location", ""),
+            channel=fields["channel"],
+            start_time=start_time,
+            end_time=end_time,
+            nrecords=1,
+            nsamples=nsamples,
+            size_bytes=path.stat().st_size,
+        )
+        record_row = RecordMetaRow(
+            uri=uri,
+            record_id=0,
+            start_time=start_time,
+            end_time=end_time,
+            sample_rate=sample_rate,
+            nsamples=nsamples,
+        )
+        return ExtractedMetadata(file_row, [record_row])
+
+    def mount(self, path: Path, uri: str) -> MountedFile:
+        fields = _parse_header(path)
+        nsamples = int(fields["nsamples"])
+        body = io.StringIO()
+        with open(path, "r") as handle:
+            for line in handle:
+                if line.startswith("#") or line.startswith("t_us"):
+                    continue
+                body.write(line)
+        body.seek(0)
+        if nsamples == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return MountedFile(uri, empty, empty.copy(),
+                               np.empty(0, dtype=np.float64))
+        data = np.loadtxt(body, delimiter=",", dtype=np.float64, ndmin=2)
+        if data.shape[0] != nsamples:
+            raise IngestError(
+                f"{path}: header claims {nsamples} samples, body has "
+                f"{data.shape[0]}"
+            )
+        return MountedFile(
+            uri=uri,
+            record_id=np.zeros(nsamples, dtype=np.int64),
+            sample_time=data[:, 0].astype(np.int64),
+            sample_value=data[:, 1],
+        )

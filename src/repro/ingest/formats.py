@@ -1,0 +1,133 @@
+"""The format-extractor plug-in interface (the paper's generalization, §5).
+
+"We can design a generalized medium for the scientific developer [to] define
+domain- and format-specific mappings and extractions" — this module is that
+medium. A :class:`FormatExtractor` maps one file format onto the relational
+schema through two operations with very different costs:
+
+* :meth:`~FormatExtractor.extract_metadata` — cheap, header-only; feeds the
+  metadata tables ``F`` and ``R``,
+* :meth:`~FormatExtractor.mount` — full extract/transform; feeds the actual
+  data table ``D`` one file at a time.
+
+The :class:`FormatRegistry` resolves a file's extractor by suffix, so one
+repository may mix formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..db.errors import IngestError
+
+
+@dataclass(frozen=True)
+class FileMetaRow:
+    """One row of the file-level metadata table ``F``."""
+
+    uri: str
+    network: str
+    station: str
+    location: str
+    channel: str
+    start_time: int
+    end_time: int
+    nrecords: int
+    nsamples: int
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class RecordMetaRow:
+    """One row of the record-level metadata table ``R``."""
+
+    uri: str
+    record_id: int
+    start_time: int
+    end_time: int
+    sample_rate: float
+    nsamples: int
+
+
+@dataclass(frozen=True)
+class ExtractedMetadata:
+    """Everything a header-only pass learns about one file."""
+
+    file_row: FileMetaRow
+    record_rows: list[RecordMetaRow]
+
+
+@dataclass(frozen=True)
+class MountedFile:
+    """One file's actual data, transformed to the ``D`` layout.
+
+    Arrays are parallel and row-aligned: ``record_id`` int64,
+    ``sample_time`` int64 µs, ``sample_value`` float64. The URI column is
+    implicit (constant per file) and added by the consumer.
+    """
+
+    uri: str
+    record_id: np.ndarray
+    sample_time: np.ndarray
+    sample_value: np.ndarray
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.sample_value)
+
+
+@runtime_checkable
+class FormatExtractor(Protocol):
+    """One scientific file format's mapping onto the relational schema."""
+
+    format_name: str
+    suffix: str
+
+    def extract_metadata(self, path: Path, uri: str) -> ExtractedMetadata:
+        """Header-only metadata extraction (must not decode actual data)."""
+        ...
+
+    def mount(self, path: Path, uri: str) -> MountedFile:
+        """Full extraction of the file's actual data."""
+        ...
+
+
+class FormatRegistry:
+    """Suffix-keyed registry of format extractors."""
+
+    def __init__(self) -> None:
+        self._by_suffix: dict[str, FormatExtractor] = {}
+
+    def register(self, extractor: FormatExtractor) -> None:
+        suffix = extractor.suffix.lower()
+        if not suffix.startswith("."):
+            raise IngestError(f"suffix must start with '.', got {suffix!r}")
+        self._by_suffix[suffix] = extractor
+
+    def for_path(self, path: str | Path) -> FormatExtractor:
+        suffix = Path(path).suffix.lower()
+        extractor = self._by_suffix.get(suffix)
+        if extractor is None:
+            raise IngestError(
+                f"no format extractor registered for {suffix!r} "
+                f"(known: {sorted(self._by_suffix)})"
+            )
+        return extractor
+
+    def known_suffixes(self) -> list[str]:
+        return sorted(self._by_suffix)
+
+
+def default_registry() -> FormatRegistry:
+    """Registry with the built-in formats (xSEED and CSV time series)."""
+    from .csv_format import CsvExtractor
+    from .xseed_format import XSeedExtractor
+
+    registry = FormatRegistry()
+    registry.register(XSeedExtractor())
+    registry.register(CsvExtractor())
+    return registry

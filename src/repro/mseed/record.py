@@ -1,0 +1,163 @@
+"""xSEED records: fixed 64-byte headers + compressed payloads.
+
+A record is the unit of a waveform file, mirroring mini-SEED: the header
+carries the *metadata* (stream identifiers, start time, rate, sample count,
+payload length) and the payload carries the *actual data* (Steim-compressed
+samples). Everything two-stage execution needs for stage 1 lives in the
+header; the payload is only touched when a file is mounted.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from .steim import SteimError, steim_decode, steim_encode
+
+MAGIC = b"XSD1"
+ENCODING_STEIM1 = 1
+
+# magic, sequence, network, station, location, channel, start_time (µs),
+# sample_rate (Hz), nsamples, encoding, payload_len
+_HEADER_STRUCT = struct.Struct(">4sI2s5s2s3sqdIHI")
+_PAD = 64 - _HEADER_STRUCT.size
+HEADER_SIZE = 64
+
+assert _PAD >= 0, "header layout exceeds 64 bytes"
+
+
+def _fix(text: str, width: int) -> bytes:
+    encoded = text.encode("ascii")
+    if len(encoded) > width:
+        raise SteimError(f"identifier {text!r} longer than {width} bytes")
+    return encoded.ljust(width)
+
+
+@dataclass(frozen=True)
+class RecordHeader:
+    """The metadata half of a record — what header-only scans return."""
+
+    sequence: int
+    network: str
+    station: str
+    location: str
+    channel: str
+    start_time: int  # µs since epoch, UTC
+    sample_rate: float  # Hz
+    nsamples: int
+    encoding: int
+    payload_len: int
+
+    @property
+    def end_time(self) -> int:
+        """Time of the last sample (µs). Equals start_time for 1 sample."""
+        if self.nsamples <= 1 or self.sample_rate <= 0:
+            return self.start_time
+        return self.start_time + round(
+            (self.nsamples - 1) * 1_000_000 / self.sample_rate
+        )
+
+    def pack(self) -> bytes:
+        return _HEADER_STRUCT.pack(
+            MAGIC,
+            self.sequence,
+            _fix(self.network, 2),
+            _fix(self.station, 5),
+            _fix(self.location, 2),
+            _fix(self.channel, 3),
+            self.start_time,
+            self.sample_rate,
+            self.nsamples,
+            self.encoding,
+            self.payload_len,
+        ) + b"\x00" * _PAD
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "RecordHeader":
+        if len(raw) < HEADER_SIZE:
+            raise SteimError(f"truncated header: {len(raw)} bytes")
+        (
+            magic, sequence, network, station, location, channel,
+            start_time, sample_rate, nsamples, encoding, payload_len,
+        ) = _HEADER_STRUCT.unpack(raw[: _HEADER_STRUCT.size])
+        if magic != MAGIC:
+            raise SteimError(f"bad magic {magic!r}")
+        return cls(
+            sequence=sequence,
+            network=network.decode("ascii").strip(),
+            station=station.decode("ascii").strip(),
+            location=location.decode("ascii").strip(),
+            channel=channel.decode("ascii").strip(),
+            start_time=start_time,
+            sample_rate=sample_rate,
+            nsamples=nsamples,
+            encoding=encoding,
+            payload_len=payload_len,
+        )
+
+
+@dataclass(frozen=True)
+class XSeedRecord:
+    """A full record: header plus decoded samples.
+
+    ``payload`` caches the compressed bytes so creating and then writing a
+    record compresses only once.
+    """
+
+    header: RecordHeader
+    samples: np.ndarray  # int32
+    payload: bytes = b""
+
+    @classmethod
+    def create(
+        cls,
+        sequence: int,
+        network: str,
+        station: str,
+        location: str,
+        channel: str,
+        start_time: int,
+        sample_rate: float,
+        samples: np.ndarray,
+    ) -> "XSeedRecord":
+        samples = np.asarray(samples, dtype=np.int32)
+        payload = steim_encode(samples)
+        header = RecordHeader(
+            sequence=sequence,
+            network=network,
+            station=station,
+            location=location,
+            channel=channel,
+            start_time=start_time,
+            sample_rate=sample_rate,
+            nsamples=len(samples),
+            encoding=ENCODING_STEIM1,
+            payload_len=len(payload),
+        )
+        return cls(header, samples, payload)
+
+    def pack(self) -> bytes:
+        payload = self.payload if self.payload else steim_encode(self.samples)
+        header = RecordHeader(
+            **{**self.header.__dict__, "payload_len": len(payload)}
+        )
+        return header.pack() + payload
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "XSeedRecord":
+        header = RecordHeader.unpack(raw)
+        payload = raw[HEADER_SIZE: HEADER_SIZE + header.payload_len]
+        if len(payload) != header.payload_len:
+            raise SteimError("truncated payload")
+        if header.encoding != ENCODING_STEIM1:
+            raise SteimError(f"unknown encoding {header.encoding}")
+        samples = steim_decode(payload, header.nsamples)
+        return cls(header, samples, payload)
+
+    def sample_times(self) -> np.ndarray:
+        """Per-sample timestamps (µs), materialized the way Ei does."""
+        step = 1_000_000 / self.header.sample_rate
+        offsets = np.round(np.arange(self.header.nsamples) * step).astype(np.int64)
+        return self.header.start_time + offsets

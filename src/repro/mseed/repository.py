@@ -1,0 +1,69 @@
+"""The file-repository abstraction.
+
+A repository is a directory tree of standard-format files addressed by
+*URIs* (their repository-relative paths). This is the paper's unit of
+ingestion: eager ingestion walks every URI, lazy ingestion walks headers
+only, and the mount access path resolves one URI at a time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from ..db.errors import IngestError
+
+
+class FileRepository:
+    """A directory of scientific data files, addressed by relative URI.
+
+    ``suffix`` may be a single extension or a tuple of extensions — a real
+    scientific archive mixes formats, and the format registry dispatches per
+    file, so one repository (and one schema) can span them all.
+    """
+
+    def __init__(
+        self, root: str | Path, suffix: str | tuple[str, ...] = ".xseed"
+    ) -> None:
+        self.root = Path(root)
+        self.suffixes = (suffix,) if isinstance(suffix, str) else tuple(suffix)
+        if not self.root.exists():
+            raise IngestError(f"repository root {self.root} does not exist")
+
+    @property
+    def suffix(self) -> str:
+        """The first suffix (kept for single-format callers)."""
+        return self.suffixes[0]
+
+    def uris(self) -> list[str]:
+        """All file URIs, sorted for deterministic iteration order."""
+        found: set[str] = set()
+        for suffix in self.suffixes:
+            found.update(
+                p.relative_to(self.root).as_posix()
+                for p in self.root.rglob(f"*{suffix}")
+                if p.is_file()
+            )
+        return sorted(found)
+
+    def __len__(self) -> int:
+        return len(self.uris())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.uris())
+
+    def path_of(self, uri: str) -> Path:
+        path = (self.root / uri).resolve()
+        root = self.root.resolve()
+        if not path.is_relative_to(root):
+            raise IngestError(f"URI {uri!r} escapes the repository root")
+        if not path.exists():
+            raise IngestError(f"no file for URI {uri!r} in {self.root}")
+        return path
+
+    def size_of(self, uri: str) -> int:
+        return self.path_of(uri).stat().st_size
+
+    def total_bytes(self) -> int:
+        """Size of the repository — the "mSEED" column of Table 1."""
+        return sum(self.size_of(uri) for uri in self.uris())

@@ -1,0 +1,106 @@
+"""xSEED volumes: files made of concatenated records.
+
+The key asymmetry the paper exploits is implemented here:
+:func:`scan_headers` reads only the 64-byte headers and *seeks over* every
+payload, so metadata extraction costs a tiny fraction of a full parse, while
+:func:`read_records` decodes everything (what eager ingestion and mounting
+do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from .record import HEADER_SIZE, RecordHeader, XSeedRecord
+from .steim import SteimError
+
+
+def write_volume(path: str | Path, records: Sequence[XSeedRecord]) -> int:
+    """Write records to a file; returns bytes written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    total = 0
+    with open(path, "wb") as handle:
+        for record in records:
+            raw = record.pack()
+            handle.write(raw)
+            total += len(raw)
+    return total
+
+
+def read_records(path: str | Path) -> list[XSeedRecord]:
+    """Fully parse a volume: headers *and* decompressed payloads."""
+    return list(iter_records(path))
+
+
+def iter_records(path: str | Path) -> Iterator[XSeedRecord]:
+    with open(path, "rb") as handle:
+        while True:
+            header_raw = handle.read(HEADER_SIZE)
+            if not header_raw:
+                return
+            header = RecordHeader.unpack(header_raw)
+            payload = handle.read(header.payload_len)
+            if len(payload) != header.payload_len:
+                raise SteimError(f"truncated record in {path}")
+            yield XSeedRecord.unpack(header_raw + payload)
+
+
+def read_volume(path: str | Path) -> list[XSeedRecord]:
+    """Alias for :func:`read_records` (kept for symmetry with write)."""
+    return read_records(path)
+
+
+def scan_headers(path: str | Path) -> list[RecordHeader]:
+    """Header-only scan: read 64 bytes per record, seek over payloads.
+
+    This is what metadata-only (ALi) ingestion uses; the cost is proportional
+    to the number of records, not the number of samples.
+    """
+    headers: list[RecordHeader] = []
+    with open(path, "rb") as handle:
+        while True:
+            header_raw = handle.read(HEADER_SIZE)
+            if not header_raw:
+                return headers
+            header = RecordHeader.unpack(header_raw)
+            headers.append(header)
+            handle.seek(header.payload_len, 1)
+
+
+@dataclass(frozen=True)
+class FileMetadata:
+    """File-level metadata summarized from record headers (table ``F``)."""
+
+    network: str
+    station: str
+    location: str
+    channel: str
+    start_time: int
+    end_time: int
+    nrecords: int
+    nsamples: int
+    size_bytes: int
+
+
+def read_file_metadata(path: str | Path) -> tuple[FileMetadata, list[RecordHeader]]:
+    """Header-only extraction of both file-level and record-level metadata."""
+    path = Path(path)
+    headers = scan_headers(path)
+    if not headers:
+        raise SteimError(f"empty volume {path}")
+    first = headers[0]
+    meta = FileMetadata(
+        network=first.network,
+        station=first.station,
+        location=first.location,
+        channel=first.channel,
+        start_time=min(h.start_time for h in headers),
+        end_time=max(h.end_time for h in headers),
+        nrecords=len(headers),
+        nsamples=sum(h.nsamples for h in headers),
+        size_bytes=path.stat().st_size,
+    )
+    return meta, headers

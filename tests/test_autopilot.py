@@ -1,0 +1,103 @@
+"""Tests for the automated event hunter."""
+
+import pytest
+
+from repro.core import CachePolicy, IngestionCache, TwoStageExecutor
+from repro.db import Database
+from repro.explore import EventHunter
+from repro.ingest import RepositoryBinding, lazy_ingest_metadata
+from repro.mseed import (
+    FileRepository,
+    RepositorySpec,
+    WaveformSpec,
+    generate_repository,
+)
+
+# Strong, frequent events so the detector always finds something.
+SPEC = RepositorySpec(
+    stations=("ISK", "ANK"),
+    channels=("BHE",),
+    days=1,
+    sample_rate=0.2,
+    samples_per_record=4320,
+    waveform=WaveformSpec(events_per_hour=1.2, event_amplitude=30_000.0),
+)
+
+
+@pytest.fixture(scope="module")
+def repo(tmp_path_factory):
+    root = tmp_path_factory.mktemp("hunt_repo")
+    generate_repository(root, SPEC)
+    return FileRepository(root)
+
+
+@pytest.fixture()
+def hunter(repo):
+    db = Database()
+    lazy_ingest_metadata(db, repo)
+    executor = TwoStageExecutor(
+        db,
+        RepositoryBinding(repo),
+        cache=IngestionCache(CachePolicy.UNBOUNDED),
+    )
+    return EventHunter(
+        executor,
+        stations=list(SPEC.stations),
+        channels=list(SPEC.channels),
+        start_day=SPEC.start_day,
+        days=SPEC.days,
+        on_threshold=4.0,
+    )
+
+
+class TestSurvey:
+    def test_covers_all_targets(self, hunter):
+        survey = hunter.survey()
+        assert len(survey) == 2  # 2 stations × 1 channel × 1 day
+        assert {e.station for e in survey} == {"ISK", "ANK"}
+
+    def test_ranked_by_energy(self, hunter):
+        survey = hunter.survey()
+        energies = [e.energy for e in survey]
+        assert energies == sorted(energies, reverse=True)
+        assert energies[0] > 0
+
+
+class TestHunt:
+    def test_finds_events(self, hunter):
+        report = hunter.hunt()
+        assert report.events, "the synthetic repository has strong events"
+        for event in report.events:
+            assert event.peak_ratio >= 4.0
+            assert event.zoom_rows > 0
+            assert event.station in SPEC.stations
+
+    def test_cost_accounting(self, hunter):
+        report = hunter.hunt()
+        assert report.queries_run == len(hunter.session.history)
+        # With the unbounded cache, each interesting file mounts once even
+        # though the hunt queries it several times.
+        assert report.files_mounted <= len(SPEC.stations)
+
+    def test_summary_text(self, hunter):
+        report = hunter.hunt()
+        text = report.summary()
+        assert "confirmed event(s)" in text
+        assert "STA/LTA peak" in text
+
+    def test_works_over_eager_database_too(self, repo):
+        from repro.ingest import eager_ingest
+
+        db = Database()
+        eager_ingest(db, repo)
+        hunter = EventHunter(
+            db,
+            stations=list(SPEC.stations),
+            channels=list(SPEC.channels),
+            start_day=SPEC.start_day,
+            days=SPEC.days,
+            on_threshold=4.0,
+        )
+        report = hunter.hunt()
+        assert report.events
+        assert report.files_mounted == 0  # everything was pre-loaded

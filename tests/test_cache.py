@@ -1,0 +1,165 @@
+"""Tests for the ingestion cache: policies, granularities, eviction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import CacheGranularity, CachePolicy, IngestionCache, WHOLE_FILE
+from repro.core.cache import covers
+from repro.db import Column, ColumnBatch, DataType
+
+
+def batch(n=10):
+    return ColumnBatch(
+        ["sample_time", "sample_value"],
+        [
+            Column.from_pylist(DataType.TIMESTAMP, list(range(n))),
+            Column.from_pylist(DataType.FLOAT64, [float(i) for i in range(n)]),
+        ],
+    )
+
+
+class TestDiscardPolicy:
+    def test_store_is_noop(self):
+        cache = IngestionCache(CachePolicy.DISCARD)
+        cache.store("f1", batch())
+        assert not cache.contains("f1")
+        assert cache.lookup("f1") is None
+        assert len(cache) == 0
+
+
+class TestUnboundedFileGranular:
+    def test_store_and_lookup(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("f1", batch())
+        assert cache.contains("f1")
+        assert cache.lookup("f1").num_rows == 10
+        assert cache.stats.hits == 1
+
+    def test_any_interval_served_by_file_entry(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("f1", batch())
+        assert cache.contains("f1", (3, 5))
+        assert cache.lookup("f1", (3, 5)).num_rows == 10
+
+    def test_miss_counted(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        assert cache.lookup("nope") is None
+        assert cache.stats.misses == 1
+
+    def test_duplicate_store_ignored(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("f1", batch())
+        cache.store("f1", batch())
+        assert cache.stats.insertions == 1
+
+    def test_cached_uris(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("a", batch())
+        cache.store("b", batch())
+        assert cache.cached_uris() == {"a", "b"}
+
+    def test_invalidate(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("a", batch())
+        cache.invalidate("a")
+        assert not cache.contains("a")
+        assert cache.stats.current_bytes == 0
+
+    def test_clear(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("a", batch())
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestTupleGranular:
+    def make(self):
+        return IngestionCache(
+            CachePolicy.UNBOUNDED, CacheGranularity.TUPLE
+        )
+
+    def test_superset_interval_serves(self):
+        cache = self.make()
+        cache.store("f1", batch(), (0, 100))
+        assert cache.contains("f1", (10, 20))
+        assert cache.lookup("f1", (10, 20)) is not None
+
+    def test_partial_overlap_misses(self):
+        """§3: the whole file must be mounted when any required tuple is
+        missing from the cache."""
+        cache = self.make()
+        cache.store("f1", batch(), (0, 50))
+        assert not cache.contains("f1", (40, 60))
+        assert cache.lookup("f1", (40, 60)) is None
+
+    def test_whole_file_request_needs_whole_file_entry(self):
+        cache = self.make()
+        cache.store("f1", batch(), (0, 50))
+        assert not cache.contains("f1", WHOLE_FILE)
+        cache.store("f1", batch(), WHOLE_FILE)
+        assert cache.contains("f1", WHOLE_FILE)
+
+    def test_multiple_intervals_per_file(self):
+        cache = self.make()
+        cache.store("f1", batch(3), (0, 10))
+        cache.store("f1", batch(3), (90, 100))
+        assert cache.contains("f1", (1, 9))
+        assert cache.contains("f1", (91, 99))
+        assert not cache.contains("f1", (50, 60))
+
+    def test_cached_uris_tuple_keys(self):
+        cache = self.make()
+        cache.store("f1", batch(), (0, 10))
+        assert cache.cached_uris() == {"f1"}
+
+
+class TestLru:
+    def test_requires_capacity(self):
+        with pytest.raises(ValueError):
+            IngestionCache(CachePolicy.LRU)
+
+    def test_eviction_under_pressure(self):
+        one_batch_bytes = batch().nbytes()
+        cache = IngestionCache(
+            CachePolicy.LRU, capacity_bytes=int(one_batch_bytes * 2.5)
+        )
+        cache.store("a", batch())
+        cache.store("b", batch())
+        cache.store("c", batch())
+        assert cache.stats.evictions >= 1
+        assert cache.stats.current_bytes <= int(one_batch_bytes * 2.5)
+        assert not cache.contains("a")  # least recently used went first
+
+    def test_lookup_refreshes_recency(self):
+        one = batch().nbytes()
+        cache = IngestionCache(CachePolicy.LRU, capacity_bytes=int(one * 2.5))
+        cache.store("a", batch())
+        cache.store("b", batch())
+        cache.lookup("a")  # a becomes most recent
+        cache.store("c", batch())
+        assert cache.contains("a")
+        assert not cache.contains("b")
+
+    def test_never_evicts_last_entry(self):
+        cache = IngestionCache(CachePolicy.LRU, capacity_bytes=1)
+        cache.store("a", batch())
+        assert cache.contains("a")
+
+
+class TestCovers:
+    def test_basic(self):
+        assert covers((0, 10), (2, 5))
+        assert covers((0, 10), (0, 10))
+        assert not covers((0, 10), (5, 11))
+        assert not covers((5, 10), (4, 6))
+
+    @given(
+        st.tuples(st.integers(-100, 100), st.integers(-100, 100)),
+        st.tuples(st.integers(-100, 100), st.integers(-100, 100)),
+    )
+    def test_covers_matches_set_containment(self, entry, request):
+        e = (min(entry), max(entry))
+        r = (min(request), max(request))
+        expected = set(range(r[0], r[1] + 1)) <= set(range(e[0], e[1] + 1))
+        assert covers(e, r) == expected

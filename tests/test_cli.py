@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def repo_dir(tmp_path):
+    root = tmp_path / "repo"
+    code = main([
+        "generate", "--root", str(root),
+        "--stations", "ISK,ANK", "--channels", "BHE",
+        "--days", "1", "--sample-rate", "0.02",
+        "--samples-per-record", "400",
+    ])
+    assert code == 0
+    return root
+
+
+class TestGenerateInspect:
+    def test_generate_reports(self, tmp_path, capsys):
+        code = main([
+            "generate", "--root", str(tmp_path / "r"),
+            "--stations", "ISK,ANK", "--channels", "BHE",
+            "--days", "1", "--sample-rate", "0.02",
+            "--samples-per-record", "400",
+        ])
+        assert code == 0
+        assert "generated 2 files" in capsys.readouterr().out
+
+    def test_inspect(self, repo_dir, capsys):
+        assert main(["inspect", "--repo", str(repo_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "files      : 2" in out
+        assert "ISK" in out and "ANK" in out
+
+
+class TestLoadQuery:
+    def test_lazy_load_and_query(self, repo_dir, tmp_path, capsys):
+        db_dir = tmp_path / "db"
+        assert main([
+            "load", "--repo", str(repo_dir), "--db", str(db_dir),
+            "--mode", "lazy",
+        ]) == 0
+        assert main([
+            "query", "--db", str(db_dir),
+            "SELECT station, COUNT(*) FROM F GROUP BY station ORDER BY station",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ISK" in out and "2 rows" in out
+
+    def test_eager_load_and_query(self, repo_dir, tmp_path, capsys):
+        db_dir = tmp_path / "db"
+        assert main([
+            "load", "--repo", str(repo_dir), "--db", str(db_dir),
+            "--mode", "eager",
+        ]) == 0
+        assert main([
+            "query", "--db", str(db_dir), "SELECT COUNT(*) FROM D",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3456" in out  # 2 files × 1728 samples
+
+    def test_two_stage_query_against_repo(self, repo_dir, capsys):
+        assert main([
+            "query", "--repo", str(repo_dir), "--breakpoint",
+            "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+            "WHERE F.station = 'ISK'",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "file(s) of interest" in out
+        assert "1 file(s) mounted" in out
+        assert "1728" in out
+
+    def test_explain(self, repo_dir, capsys):
+        assert main([
+            "query", "--repo", str(repo_dir), "--explain",
+            "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+            "WHERE F.station = 'ISK'",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[Qf]" in out
+        assert "Scan(D)" in out
+
+    def test_sql_error_is_reported_not_raised(self, repo_dir, capsys):
+        code = main(["query", "--repo", str(repo_dir), "SELEC oops"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_bench_tiny(self, capsys):
+        assert main(["bench", "--scale", "tiny", "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Figure 3" in out
+        assert "log-scale" in out

@@ -1,0 +1,295 @@
+"""Tests for the two-stage executor — including the central invariant of the
+reproduction: for every supported query, two-stage ALi execution returns the
+same answer as conventional execution over an eagerly loaded database."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AbortAboveCost,
+    CachePolicy,
+    CacheGranularity,
+    IngestionCache,
+    LimitFilesAboveCost,
+    PER_FILE,
+    TwoStageExecutor,
+)
+from repro.db.errors import QueryAbortedError
+from repro.ingest import RepositoryBinding
+
+# A family of queries spanning the supported SQL surface, all answerable by
+# both engines. Each must yield identical results under Ei and ALi.
+EQUIVALENCE_QUERIES = [
+    # the paper's queries
+    pytest.param("query1", id="paper-query1"),
+    pytest.param("query2", id="paper-query2"),
+    # metadata-only
+    pytest.param(
+        "SELECT station, COUNT(*) AS n FROM F GROUP BY station ORDER BY station",
+        id="metadata-group-by",
+    ),
+    pytest.param(
+        "SELECT F.station, R.nsamples FROM F JOIN R ON F.uri = R.uri "
+        "WHERE R.record_id = 0 ORDER BY F.uri",
+        id="metadata-join",
+    ),
+    # aggregates over actual data
+    pytest.param(
+        "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+        "WHERE F.station = 'ISK' AND F.channel = 'BHE'",
+        id="count-star-join",
+    ),
+    pytest.param(
+        "SELECT MIN(D.sample_value), MAX(D.sample_value) "
+        "FROM F JOIN D ON F.uri = D.uri WHERE F.station = 'ANK'",
+        id="min-max",
+    ),
+    pytest.param(
+        "SELECT F.channel, AVG(D.sample_value) AS a, COUNT(*) AS n "
+        "FROM F JOIN D ON F.uri = D.uri "
+        "WHERE F.station = 'ISK' GROUP BY F.channel ORDER BY F.channel",
+        id="grouped-aggregate",
+    ),
+    # retrieval with ordering and limit
+    pytest.param(
+        "SELECT D.sample_time, D.sample_value "
+        "FROM F JOIN D ON F.uri = D.uri "
+        "WHERE F.station = 'ISK' AND F.channel = 'BHZ' "
+        "AND D.sample_value > 100.0 "
+        "ORDER BY D.sample_value DESC, D.sample_time LIMIT 7",
+        id="order-limit",
+    ),
+    # expression projection over mounted data
+    pytest.param(
+        "SELECT D.sample_value * 2.0 + 1.0 AS scaled "
+        "FROM F JOIN D ON F.uri = D.uri "
+        "WHERE F.station = 'ANK' AND F.channel = 'BHE' "
+        "AND D.sample_value > 500.0 ORDER BY scaled",
+        id="expression-projection",
+    ),
+    # distinct over mounted data
+    pytest.param(
+        "SELECT DISTINCT D.record_id FROM F JOIN D ON F.uri = D.uri "
+        "WHERE F.station = 'ISK' AND F.channel = 'BHE' ORDER BY D.record_id",
+        id="distinct-record-ids",
+    ),
+    # uri predicate directly on the actual table
+    pytest.param(
+        "SELECT COUNT(*) FROM D WHERE uri = '2010/KO.ISK/KO.ISK..BHE.2010.010.xseed'",
+        id="uri-equality-no-metadata",
+    ),
+    # record-level metadata narrowing
+    pytest.param(
+        "SELECT SUM(D.sample_value) FROM R JOIN D "
+        "ON R.uri = D.uri AND R.record_id = D.record_id "
+        "WHERE R.nsamples > 0 AND R.record_id = 1",
+        id="record-level-join",
+    ),
+]
+
+
+def _resolve(sql, query1, query2):
+    return {"query1": query1, "query2": query2}.get(sql, sql)
+
+
+def _normalize(rows):
+    out = []
+    for row in rows:
+        out.append(
+            tuple(
+                round(v, 9) if isinstance(v, float) else v for v in row
+            )
+        )
+    return sorted(out)
+
+
+@pytest.mark.parametrize("sql", EQUIVALENCE_QUERIES)
+def test_ali_matches_ei(sql, ei_db, executor, query1, query2):
+    sql = _resolve(sql, query1, query2)
+    expected = ei_db.execute(sql).rows()
+    got = executor.execute(sql).rows
+    assert _normalize(got) == _normalize(expected)
+
+
+@pytest.mark.parametrize("sql", EQUIVALENCE_QUERIES)
+def test_per_file_strategy_matches_ei(sql, ei_db, ali_db, tiny_repo, query1, query2):
+    sql = _resolve(sql, query1, query2)
+    executor = TwoStageExecutor(
+        ali_db, RepositoryBinding(tiny_repo), strategy=PER_FILE
+    )
+    expected = ei_db.execute(sql).rows()
+    got = executor.execute(sql).rows
+    assert _normalize(got) == _normalize(expected)
+
+
+class TestBreakpoint:
+    def test_files_of_interest_for_query1(self, executor, query1):
+        outcome = executor.execute(query1)
+        assert outcome.breakpoint.n_files == 1
+        (uri,) = outcome.breakpoint.files_of_interest
+        assert "ISK" in uri and "BHE" in uri
+
+    def test_stage_timings_populated(self, executor, query1):
+        outcome = executor.execute(query1)
+        timings = outcome.timings
+        assert timings.stage1_seconds > 0
+        assert timings.stage2_seconds > 0
+        assert timings.total_seconds >= timings.stage2_seconds
+
+    def test_estimate_present(self, executor, query1):
+        outcome = executor.execute(query1)
+        estimate = outcome.breakpoint.estimate
+        assert estimate is not None
+        assert estimate.files == 1
+        assert estimate.est_tuples > 0
+        assert 0 < estimate.selectivity < 1
+        assert "files of interest" in estimate.summary()
+
+    def test_breakpoint_summary_text(self, executor, query1):
+        outcome = executor.execute(query1)
+        text = outcome.breakpoint.summary()
+        assert "file(s) of interest" in text
+        assert "rule (1)" in text
+
+    def test_empty_files_of_interest_mounts_nothing(self, executor):
+        sql = (
+            "SELECT AVG(D.sample_value) FROM F JOIN D ON F.uri = D.uri "
+            "WHERE F.station = 'NOSUCH'"
+        )
+        outcome = executor.execute(sql)
+        assert outcome.breakpoint.n_files == 0
+        assert outcome.result.stats.files_mounted == 0
+        assert math.isnan(outcome.rows[0][0])
+        assert outcome.breakpoint.estimate.score == 1.0
+
+    def test_worst_case_touches_whole_repository(self, executor, tiny_repo):
+        outcome = executor.execute("SELECT COUNT(*) FROM D")
+        assert outcome.breakpoint.n_files == len(tiny_repo)
+        assert outcome.result.stats.files_mounted == len(tiny_repo)
+
+    def test_metadata_only_query_has_no_mounts(self, executor):
+        outcome = executor.execute("SELECT COUNT(*) FROM F")
+        assert outcome.result.stats.files_mounted == 0
+        assert outcome.breakpoint.files_by_alias == {}
+
+
+class TestCacheIntegration:
+    def test_second_run_uses_cache_scans(self, ali_db, tiny_repo, query1):
+        executor = TwoStageExecutor(
+            ali_db,
+            RepositoryBinding(tiny_repo),
+            cache=IngestionCache(CachePolicy.UNBOUNDED),
+        )
+        first = executor.execute(query1)
+        assert first.breakpoint.rewrite.mounts == 1
+        second = executor.execute(query1)
+        assert second.breakpoint.rewrite.mounts == 0
+        assert second.breakpoint.rewrite.cache_scans == 1
+        assert first.rows == second.rows
+
+    def test_discard_policy_remounts(self, executor, query1):
+        executor.execute(query1)
+        outcome = executor.execute(query1)
+        assert outcome.breakpoint.rewrite.mounts == 1
+        assert outcome.breakpoint.rewrite.cache_scans == 0
+
+    def test_tuple_granular_cache_equivalence(self, ali_db, tiny_repo, ei_db, query1):
+        executor = TwoStageExecutor(
+            ali_db,
+            RepositoryBinding(tiny_repo),
+            cache=IngestionCache(
+                CachePolicy.UNBOUNDED, CacheGranularity.TUPLE
+            ),
+        )
+        expected = ei_db.execute(query1).rows()
+        first = executor.execute(query1)
+        second = executor.execute(query1)  # served from tuple cache
+        assert second.breakpoint.rewrite.cache_scans == 1
+        assert _normalize(first.rows) == _normalize(expected)
+        assert _normalize(second.rows) == _normalize(expected)
+
+
+class TestDestinyPolicies:
+    def test_abort_above_cost(self, ali_db, tiny_repo):
+        executor = TwoStageExecutor(
+            ali_db,
+            RepositoryBinding(tiny_repo),
+            destiny=AbortAboveCost(max_files=2),
+        )
+        with pytest.raises(QueryAbortedError) as err:
+            executor.execute("SELECT COUNT(*) FROM D")
+        assert err.value.breakpoint_info.n_files > 2
+
+    def test_abort_leaves_cheap_queries_alone(self, ali_db, tiny_repo, query1):
+        executor = TwoStageExecutor(
+            ali_db,
+            RepositoryBinding(tiny_repo),
+            destiny=AbortAboveCost(max_files=2),
+        )
+        outcome = executor.execute(query1)
+        assert outcome.breakpoint.decision.action.value == "proceed"
+
+    def test_limit_policy_gives_approximate_answer(self, ali_db, tiny_repo):
+        executor = TwoStageExecutor(
+            ali_db,
+            RepositoryBinding(tiny_repo),
+            destiny=LimitFilesAboveCost(max_files=2, keep_files=1),
+        )
+        outcome = executor.execute("SELECT COUNT(*) FROM D")
+        assert outcome.approximate
+        assert outcome.result.stats.files_mounted == 1
+
+    def test_estimation_can_be_disabled(self, ali_db, tiny_repo, query1):
+        executor = TwoStageExecutor(
+            ali_db, RepositoryBinding(tiny_repo), estimate=False
+        )
+        outcome = executor.execute(query1)
+        assert outcome.breakpoint.estimate is None
+
+
+class TestExplain:
+    def test_explain_marks_qf(self, executor, query1):
+        assert "[Qf]" in executor.explain(query1)
+
+    def test_invalid_strategy_rejected(self, ali_db, tiny_repo):
+        with pytest.raises(ValueError):
+            TwoStageExecutor(
+                ali_db, RepositoryBinding(tiny_repo), strategy="magic"
+            )
+
+
+class TestMultipleActualScans:
+    def test_self_join_of_actual_table(self, ei_db, executor):
+        """Two scans of D in one query: each gets its own files of interest
+        and rule (1) rewrite; d2's join partner is d1 (not Qf), so it falls
+        back to all candidate files, filtered by the equi-join."""
+        sql = (
+            "SELECT COUNT(*) "
+            "FROM F JOIN D d1 ON F.uri = d1.uri "
+            "JOIN D d2 ON d1.uri = d2.uri AND d1.sample_time = d2.sample_time "
+            "WHERE F.station = 'ISK' AND F.channel = 'BHE' "
+            "AND d1.sample_time > '2010-01-10T10:00:00' "
+            "AND d1.sample_time < '2010-01-10T11:00:00'"
+        )
+        expected = ei_db.execute(sql).rows()
+        outcome = executor.execute(sql)
+        assert outcome.rows == expected
+        assert len(outcome.breakpoint.files_by_alias) == 2
+        # d1 is linked to the metadata branch (both ISK/BHE day-files
+        # qualify — no day predicate reaches the metadata), d2 is not.
+        assert len(outcome.breakpoint.files_by_alias["d1"]) == 2
+
+    def test_two_windows_compared(self, ei_db, executor):
+        """An exploration-style comparison query: the same channel's values
+        at two different times (pure actual-data self-join)."""
+        sql = (
+            "SELECT COUNT(*) FROM D d1 JOIN D d2 "
+            "ON d1.uri = d2.uri AND d1.record_id = d2.record_id "
+            "WHERE d1.sample_time > '2010-01-10T10:00:00' "
+            "AND d1.sample_time < '2010-01-10T10:05:00' "
+            "AND d2.sample_time > '2010-01-10T10:00:00' "
+            "AND d2.sample_time < '2010-01-10T10:05:00' "
+            "AND d1.sample_value < d2.sample_value"
+        )
+        assert executor.execute(sql).rows == ei_db.execute(sql).rows()

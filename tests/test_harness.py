@@ -1,0 +1,128 @@
+"""Tests for the experiment harness (at integration-test scale)."""
+
+import pytest
+
+from repro.harness import (
+    build_environment,
+    ingestion_report,
+    interest_sweep,
+    render_figure3,
+    render_table1,
+    run_cold,
+    run_figure3,
+    run_hot,
+    run_table1,
+    tiny_spec,
+)
+from repro.harness.reporting import render_ingestion, render_sweep
+from repro.explore.workload import sweep_queries
+
+
+@pytest.fixture(scope="module")
+def env(tmp_path_factory):
+    return build_environment(
+        tiny_spec(), cache_root=tmp_path_factory.mktemp("bench_repo")
+    )
+
+
+class TestEnvironment:
+    def test_repository_cached_between_builds(self, env, tmp_path_factory):
+        again = build_environment(
+            env.spec, cache_root=env.repository.root.parent
+        )
+        assert again.repository.root == env.repository.root
+
+    def test_queries_instantiated(self, env):
+        assert "AVG" in env.queries.query1
+        assert "sample_time" in env.queries.query2
+
+    def test_both_systems_loaded(self, env):
+        assert env.ei.catalog.table("D").num_rows > 0
+        assert env.ali.catalog.table("D").num_rows == 0
+
+
+class TestTable1:
+    def test_counts_match_repository(self, env):
+        row = run_table1(env)
+        assert row.f_records == len(env.repository)
+        assert row.d_records == env.ei.catalog.table("D").num_rows
+        assert row.mseed_bytes == env.repository.total_bytes()
+
+    def test_size_relationships(self, env):
+        """The shape of the paper's Table 1: DB storage ≫ compressed files;
+        ALi metadata ≪ everything else."""
+        row = run_table1(env)
+        assert row.monetdb_bytes > 2 * row.mseed_bytes
+        assert row.keys_bytes > 0
+        assert row.ali_bytes * 50 < row.monetdb_bytes
+
+    def test_rendering(self, env):
+        text = render_table1(run_table1(env))
+        assert "mSEED" in text and "ALi" in text
+
+
+class TestFigure3:
+    def test_all_eight_bars(self, env):
+        entries = run_figure3(env, runs=1)
+        assert len(entries) == 8
+        combos = {(e.query, e.system, e.state) for e in entries}
+        assert len(combos) == 8
+
+    def test_cold_ali_beats_cold_ei(self, env):
+        """The headline claim: for cold runs ALi definitely outperforms Ei."""
+        entries = run_figure3(env, runs=1)
+        by_key = {(e.query, e.system, e.state): e.seconds for e in entries}
+        for query in ("Query 1", "Query 2"):
+            assert by_key[(query, "ALi", "COLD")] < by_key[(query, "Ei", "COLD")]
+
+    def test_rendering(self, env):
+        text = render_figure3(run_figure3(env, runs=1), len(env.repository))
+        assert "Query 1" in text and "COLD" in text
+
+    def test_cold_slower_than_hot(self, env):
+        sql = env.queries.query1
+        cold = run_cold(env.ei, sql, runs=1)
+        hot = run_hot(env.ei, sql, runs=1)
+        assert cold > hot
+
+
+class TestIngestionReport:
+    def test_speedup_orders_of_magnitude(self, env):
+        report = ingestion_report(env)
+        # Integration-test scale: per-file Python overhead dominates both
+        # loads, so only a loose ratio is stable here; the paper's
+        # orders-of-magnitude claim is asserted at benchmark scale in
+        # benchmarks/bench_ingestion.py.
+        assert report.speedup > 2
+        assert report.space_ratio > 50
+        assert report.ali_load_seconds < report.ei_load_seconds
+
+    def test_rendering(self, env):
+        assert "initialization speedup" in render_ingestion(ingestion_report(env))
+
+
+class TestInterestSweep:
+    def test_seconds_grow_with_fraction(self, env):
+        queries = sweep_queries(
+            list(env.spec.stations),
+            list(env.spec.channels),
+            env.spec.start_day,
+            f"{env.spec.start_day}T10:00:00",
+            f"{env.spec.start_day}T11:00:00",
+            fractions=[0.0, 1.0],
+        )
+        entries = interest_sweep(env, queries)
+        assert entries[0].files_of_interest == 0
+        assert entries[-1].files_of_interest > 0
+        assert entries[0].seconds < entries[-1].seconds
+
+    def test_rendering(self, env):
+        queries = sweep_queries(
+            list(env.spec.stations), list(env.spec.channels),
+            env.spec.start_day,
+            f"{env.spec.start_day}T10:00:00",
+            f"{env.spec.start_day}T11:00:00",
+            fractions=[0.0],
+        )
+        text = render_sweep(interest_sweep(env, queries))
+        assert "fraction" in text

@@ -1,0 +1,115 @@
+"""Tests for the index-scan access path."""
+
+import pytest
+
+from repro.db import ColumnDef, Database, DataType, TableSchema
+from repro.db.plan.optimizer import PhysicalPlanner
+from repro.db.plan.physical import PIndexScan
+
+
+@pytest.fixture()
+def db():
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [
+                ColumnDef("k", DataType.INT64),
+                ColumnDef("s", DataType.STRING),
+                ColumnDef("v", DataType.FLOAT64),
+            ],
+            primary_key=("k",),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "composite",
+            [
+                ColumnDef("a", DataType.STRING),
+                ColumnDef("b", DataType.INT64),
+                ColumnDef("v", DataType.FLOAT64),
+            ],
+            primary_key=("a", "b"),
+        )
+    )
+    db.insert_rows("t", [(i, f"s{i % 3}", float(i)) for i in range(20)])
+    db.insert_rows(
+        "composite",
+        [("x", 1, 1.0), ("x", 2, 2.0), ("y", 1, 3.0)],
+    )
+    db.build_key_indexes("t")
+    db.build_key_indexes("composite")
+    return db
+
+
+def planned(db, sql):
+    plan = db.optimize(db.bind_sql(sql))
+    return PhysicalPlanner(db.catalog).plan(plan)
+
+
+def has_index_scan(op):
+    if isinstance(op, PIndexScan):
+        return True
+    return any(
+        has_index_scan(getattr(op, attr))
+        for attr in ("child", "left", "right", "probe")
+        if hasattr(op, attr)
+    )
+
+
+class TestPlanning:
+    def test_pk_equality_uses_index_scan(self, db):
+        op = planned(db, "SELECT v FROM t WHERE k = 7")
+        assert has_index_scan(op)
+
+    def test_range_predicate_does_not(self, db):
+        op = planned(db, "SELECT v FROM t WHERE k > 7")
+        assert not has_index_scan(op)
+
+    def test_partial_composite_key_does_not(self, db):
+        op = planned(db, "SELECT v FROM composite WHERE a = 'x'")
+        assert not has_index_scan(op)
+
+    def test_full_composite_key_does(self, db):
+        op = planned(db, "SELECT v FROM composite WHERE a = 'x' AND b = 2")
+        assert has_index_scan(op)
+
+    def test_disabled_indexes(self, db):
+        plan = db.optimize(db.bind_sql("SELECT v FROM t WHERE k = 7"))
+        op = PhysicalPlanner(db.catalog, use_indexes=False).plan(plan)
+        assert not has_index_scan(op)
+
+
+class TestResults:
+    def test_pk_lookup(self, db):
+        assert db.execute("SELECT v FROM t WHERE k = 7").rows() == [(7.0,)]
+
+    def test_absent_key_empty(self, db):
+        assert db.execute("SELECT v FROM t WHERE k = 999").rows() == []
+
+    def test_extra_conjuncts_still_applied(self, db):
+        assert db.execute(
+            "SELECT v FROM t WHERE k = 7 AND v > 100.0"
+        ).rows() == []
+
+    def test_composite_lookup(self, db):
+        assert db.execute(
+            "SELECT v FROM composite WHERE a = 'x' AND b = 2"
+        ).rows() == [(2.0,)]
+
+    def test_matches_full_scan(self, db):
+        sql = "SELECT v FROM t WHERE k = 13 AND s = 's1'"
+        assert (
+            db.execute(sql, use_indexes=True).rows()
+            == db.execute(sql, use_indexes=False).rows()
+        )
+
+    def test_index_object_touched(self, db):
+        db.make_cold()
+        result = db.execute("SELECT v FROM t WHERE k = 3")
+        assert any(name.startswith("index:t") for name in result.io.touched)
+
+    def test_string_key_absent_from_dictionary(self, db):
+        assert db.execute(
+            "SELECT v FROM composite WHERE a = 'zz' AND b = 1"
+        ).rows() == []

@@ -1,0 +1,155 @@
+"""Tests for informativeness estimation and destiny policies."""
+
+import pytest
+
+from repro.core import (
+    AbortAboveCost,
+    CallbackPolicy,
+    CostModel,
+    DestinyAction,
+    DestinyDecision,
+    LimitFilesAboveCost,
+    ProceedAlways,
+    estimate_informativeness,
+)
+from repro.db.buffer import DiskModel
+
+
+class TestCostModel:
+    def test_mount_seconds_scales_with_bytes(self):
+        model = CostModel()
+        assert model.mount_seconds(10**8, 10**6) > model.mount_seconds(10**6, 10**6)
+
+    def test_stage2_at_least_mount(self):
+        model = CostModel()
+        assert model.stage2_seconds(10**6, 10**6) >= model.mount_seconds(10**6, 10**6)
+
+    def test_custom_disk(self):
+        slow = CostModel(disk=DiskModel(seek_seconds=1.0))
+        fast = CostModel(disk=DiskModel(seek_seconds=0.0001))
+        assert slow.mount_seconds(1000, 10) > fast.mount_seconds(1000, 10)
+
+
+class TestEstimate:
+    def test_uses_file_metadata(self, ali_db, tiny_repo):
+        uris = tiny_repo.uris()[:2]
+        report = estimate_informativeness(
+            ali_db, uris, len(tiny_repo), cached_uris=set()
+        )
+        assert report.files == 2
+        assert report.est_tuples > 0
+        assert report.est_bytes > 0
+        assert report.selectivity == pytest.approx(2 / len(tiny_repo))
+
+    def test_cached_files_reduce_bytes(self, ali_db, tiny_repo):
+        uris = tiny_repo.uris()[:2]
+        cold = estimate_informativeness(ali_db, uris, len(tiny_repo), set())
+        warm = estimate_informativeness(
+            ali_db, uris, len(tiny_repo), set(uris)
+        )
+        assert warm.est_bytes == 0
+        assert warm.cached_files == 2
+        assert warm.est_stage2_seconds < cold.est_stage2_seconds
+
+    def test_empty_files_scores_one(self, ali_db, tiny_repo):
+        report = estimate_informativeness(ali_db, [], len(tiny_repo), set())
+        assert report.score == 1.0
+        assert report.est_tuples == 0
+
+    def test_whole_repository_scores_low(self, ali_db, tiny_repo):
+        narrow = estimate_informativeness(
+            ali_db, tiny_repo.uris()[:1], len(tiny_repo), set()
+        )
+        broad = estimate_informativeness(
+            ali_db, tiny_repo.uris(), len(tiny_repo), set()
+        )
+        assert broad.score < narrow.score
+        assert broad.selectivity == 1.0
+
+
+class TestPolicies:
+    def report(self, ali_db, tiny_repo, n):
+        return estimate_informativeness(
+            ali_db, tiny_repo.uris()[:n], len(tiny_repo), set()
+        )
+
+    def test_proceed_always(self, ali_db, tiny_repo):
+        decision = ProceedAlways().decide(self.report(ali_db, tiny_repo, 4))
+        assert decision.action is DestinyAction.PROCEED
+
+    def test_abort_on_files(self, ali_db, tiny_repo):
+        policy = AbortAboveCost(max_files=1)
+        decision = policy.decide(self.report(ali_db, tiny_repo, 3))
+        assert decision.action is DestinyAction.ABORT
+        assert "files of interest" in decision.reason
+
+    def test_abort_on_seconds(self, ali_db, tiny_repo):
+        policy = AbortAboveCost(max_seconds=0.0)
+        decision = policy.decide(self.report(ali_db, tiny_repo, 1))
+        assert decision.action is DestinyAction.ABORT
+
+    def test_abort_on_tuples(self, ali_db, tiny_repo):
+        policy = AbortAboveCost(max_tuples=1)
+        decision = policy.decide(self.report(ali_db, tiny_repo, 1))
+        assert decision.action is DestinyAction.ABORT
+
+    def test_abort_passes_small(self, ali_db, tiny_repo):
+        policy = AbortAboveCost(max_files=10, max_tuples=10**12)
+        decision = policy.decide(self.report(ali_db, tiny_repo, 1))
+        assert decision.action is DestinyAction.PROCEED
+
+    def test_limit_policy(self, ali_db, tiny_repo):
+        policy = LimitFilesAboveCost(max_files=1, keep_files=1)
+        decision = policy.decide(self.report(ali_db, tiny_repo, 3))
+        assert decision.action is DestinyAction.LIMIT
+        assert decision.max_files == 1
+
+    def test_callback_policy(self, ali_db, tiny_repo):
+        seen = []
+
+        def decide(report):
+            seen.append(report.files)
+            return DestinyDecision(DestinyAction.PROCEED, reason="explorer said go")
+
+        decision = CallbackPolicy(decide).decide(self.report(ali_db, tiny_repo, 2))
+        assert seen == [2]
+        assert decision.reason == "explorer said go"
+
+
+class TestResultRowEstimate:
+    def test_window_estimate_close_to_actual(self, ali_db, tiny_repo, executor, ei_db):
+        sql = (
+            "SELECT D.sample_time, D.sample_value "
+            "FROM F JOIN D ON F.uri = D.uri "
+            "WHERE F.station = 'ISK' AND F.channel = 'BHE' "
+            "AND D.sample_time > '2010-01-10T00:00:00' "
+            "AND D.sample_time < '2010-01-10T06:00:00'"
+        )
+        outcome = executor.execute(sql)
+        estimate = outcome.breakpoint.estimate
+        assert estimate.est_result_rows is not None
+        actual = ei_db.execute(sql).num_rows
+        # Uniform-sampling assumption holds exactly for synthetic files.
+        assert abs(estimate.est_result_rows - actual) <= max(2, actual * 0.05)
+        assert "rows in the time window" in estimate.summary()
+
+    def test_no_interval_no_estimate(self, executor):
+        outcome = executor.execute(
+            "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+            "WHERE F.station = 'ISK'"
+        )
+        assert outcome.breakpoint.estimate.est_result_rows is None
+
+    def test_window_rows_direct(self, ali_db, tiny_repo):
+        from repro.core import estimate_informativeness
+        from repro.db import parse_timestamp
+
+        uris = [u for u in tiny_repo.uris() if "ISK" in u][:1]
+        lo = parse_timestamp("2010-01-10T00:00:00")
+        hi = parse_timestamp("2010-01-10T12:00:00")
+        report = estimate_informativeness(
+            ali_db, uris, len(tiny_repo), set(), interval=(lo, hi)
+        )
+        # Half the day-file's samples fall into the half-day window.
+        day_total = 4320
+        assert abs(report.est_result_rows - day_total / 2) < day_total * 0.05

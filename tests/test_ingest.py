@@ -1,0 +1,191 @@
+"""Tests for format extractors, the registry, and the two ingestion paths."""
+
+import numpy as np
+import pytest
+
+from repro.db import Database
+from repro.db.errors import IngestError
+from repro.ingest import (
+    CsvExtractor,
+    FormatRegistry,
+    XSeedExtractor,
+    default_registry,
+    eager_ingest,
+    lazy_ingest_metadata,
+    write_csv_timeseries,
+)
+from repro.ingest.schema import ACTUAL_TABLE, FILE_TABLE, RECORD_TABLE, ensure_schema
+from repro.mseed import read_records
+
+
+class TestRegistry:
+    def test_default_registry_knows_both_formats(self):
+        registry = default_registry()
+        assert registry.known_suffixes() == [".tscsv", ".xseed"]
+
+    def test_dispatch_by_suffix(self):
+        registry = default_registry()
+        assert isinstance(registry.for_path("a/b/file.xseed"), XSeedExtractor)
+        assert isinstance(registry.for_path("w.tscsv"), CsvExtractor)
+
+    def test_unknown_suffix(self):
+        with pytest.raises(IngestError):
+            default_registry().for_path("file.hdf5")
+
+    def test_suffix_validation(self):
+        registry = FormatRegistry()
+
+        class Bad:
+            format_name = "bad"
+            suffix = "noleadingdot"
+
+            def extract_metadata(self, path, uri):
+                raise NotImplementedError
+
+            def mount(self, path, uri):
+                raise NotImplementedError
+
+        with pytest.raises(IngestError):
+            registry.register(Bad())
+
+
+class TestXSeedExtractor:
+    def test_metadata_matches_mount(self, tiny_repo):
+        extractor = XSeedExtractor()
+        uri = tiny_repo.uris()[0]
+        path = tiny_repo.path_of(uri)
+        extracted = extractor.extract_metadata(path, uri)
+        mounted = extractor.mount(path, uri)
+        assert extracted.file_row.nsamples == mounted.num_rows
+        assert extracted.file_row.uri == uri
+        assert len(extracted.record_rows) == extracted.file_row.nrecords
+
+    def test_mount_matches_direct_decode(self, tiny_repo):
+        extractor = XSeedExtractor()
+        uri = tiny_repo.uris()[0]
+        path = tiny_repo.path_of(uri)
+        mounted = extractor.mount(path, uri)
+        records = read_records(path)
+        direct = np.concatenate([r.samples for r in records]).astype(np.float64)
+        assert np.array_equal(mounted.sample_value, direct)
+        assert mounted.record_id[0] == 0
+        assert mounted.record_id[-1] == len(records) - 1
+
+    def test_sample_times_monotonic_within_record(self, tiny_repo):
+        extractor = XSeedExtractor()
+        uri = tiny_repo.uris()[0]
+        mounted = extractor.mount(tiny_repo.path_of(uri), uri)
+        first = mounted.record_id == 0
+        times = mounted.sample_time[first]
+        assert np.all(np.diff(times) > 0)
+
+
+class TestCsvExtractor:
+    def write(self, tmp_path, n=10, rate=0.5):
+        path = tmp_path / "w.tscsv"
+        values = np.linspace(0.0, 1.0, n)
+        write_csv_timeseries(
+            path, "WX", "AMS", "", "TMP", rate, 1_000_000, values
+        )
+        return path, values
+
+    def test_metadata_only(self, tmp_path):
+        path, values = self.write(tmp_path)
+        extracted = CsvExtractor().extract_metadata(path, "w.tscsv")
+        assert extracted.file_row.station == "AMS"
+        assert extracted.file_row.nsamples == len(values)
+        assert len(extracted.record_rows) == 1
+        assert extracted.record_rows[0].sample_rate == 0.5
+
+    def test_mount_roundtrip(self, tmp_path):
+        path, values = self.write(tmp_path)
+        mounted = CsvExtractor().mount(path, "w.tscsv")
+        assert np.allclose(mounted.sample_value, values)
+        assert mounted.sample_time[0] == 1_000_000
+        assert np.all(np.diff(mounted.sample_time) == 2_000_000)
+
+    def test_missing_header_fields(self, tmp_path):
+        path = tmp_path / "bad.tscsv"
+        path.write_text("# station=A\nt_us,value\n1,2\n")
+        with pytest.raises(IngestError):
+            CsvExtractor().extract_metadata(path, "bad.tscsv")
+
+    def test_sample_count_mismatch(self, tmp_path):
+        path, _ = self.write(tmp_path, n=5)
+        text = path.read_text().rstrip().rsplit("\n", 1)[0] + "\n"
+        path.write_text(text)  # drop one body row
+        with pytest.raises(IngestError):
+            CsvExtractor().mount(path, "w.tscsv")
+
+
+class TestEagerIngest:
+    def test_counts(self, tiny_repo, ei_db):
+        f = ei_db.catalog.table(FILE_TABLE)
+        r = ei_db.catalog.table(RECORD_TABLE)
+        d = ei_db.catalog.table(ACTUAL_TABLE)
+        assert f.num_rows == len(tiny_repo)
+        assert r.num_rows == sum(
+            row for row in f.batch.column("nrecords").to_pylist()
+        )
+        assert d.num_rows == sum(f.batch.column("nsamples").to_pylist())
+
+    def test_indexes_built(self, ei_db):
+        assert ei_db.index_nbytes() > 0
+        assert ei_db.catalog.index_for(FILE_TABLE, ("uri",)) is not None
+        assert (
+            ei_db.catalog.index_for(RECORD_TABLE, ("uri", "record_id"))
+            is not None
+        )
+
+    def test_d_contents_match_files(self, tiny_repo, ei_db):
+        uri = tiny_repo.uris()[0]
+        records = read_records(tiny_repo.path_of(uri))
+        expected = np.concatenate([r.samples for r in records])
+        got = ei_db.execute(
+            f"SELECT sample_value FROM D WHERE uri = '{uri}' "
+            "ORDER BY record_id, sample_time"
+        )
+        assert np.allclose(got.batch.column("sample_value").values, expected)
+
+    def test_report_consistency(self, tiny_repo):
+        db = Database()
+        report = eager_ingest(db, tiny_repo, build_indexes=False)
+        assert report.index_seconds == 0.0
+        assert report.index_bytes == 0
+        assert report.files == len(tiny_repo)
+        assert report.total_bytes == report.data_bytes
+
+
+class TestLazyIngest:
+    def test_metadata_equal_to_eager(self, ei_db, ali_db):
+        for table in (FILE_TABLE, RECORD_TABLE):
+            assert sorted(ali_db.catalog.table(table).batch.rows()) == sorted(
+                ei_db.catalog.table(table).batch.rows()
+            )
+
+    def test_actual_table_empty(self, ali_db):
+        assert ali_db.catalog.table(ACTUAL_TABLE).num_rows == 0
+
+    def test_no_indexes(self, ali_db):
+        assert ali_db.index_nbytes() == 0
+
+    def test_metadata_much_smaller(self, tiny_repo, ali_db, ei_db):
+        meta_bytes = (
+            ali_db.catalog.table(FILE_TABLE).nbytes()
+            + ali_db.catalog.table(RECORD_TABLE).nbytes()
+        )
+        assert meta_bytes * 10 < ei_db.data_nbytes()
+
+    def test_report(self, tiny_repo):
+        db = Database()
+        report = lazy_ingest_metadata(db, tiny_repo)
+        assert report.files == len(tiny_repo)
+        assert report.samples > 0
+        assert report.metadata_bytes > 0
+
+    def test_ensure_schema_idempotent(self, tiny_repo):
+        db = Database()
+        ensure_schema(db)
+        ensure_schema(db)
+        lazy_ingest_metadata(db, tiny_repo)
+        assert db.catalog.table(FILE_TABLE).num_rows == len(tiny_repo)

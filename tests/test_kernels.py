@@ -1,0 +1,124 @@
+"""Property tests for the shared columnar kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Column, DataType
+from repro.db.plan.kernels import (
+    combined_codes,
+    factorize,
+    first_occurrence_indices,
+    group_by_codes,
+    join_codes,
+    sort_indices,
+)
+
+
+def int_col(values):
+    return Column.from_pylist(DataType.INT64, values)
+
+
+def str_col(values):
+    return Column.from_pylist(DataType.STRING, values)
+
+
+class TestFactorize:
+    def test_codes_preserve_order(self):
+        codes, card = factorize(int_col([30, 10, 20, 10]))
+        assert card == 3
+        assert codes[1] < codes[2] < codes[0]
+        assert codes[1] == codes[3]
+
+    def test_string_codes_follow_lexicographic_order(self):
+        codes, _ = factorize(str_col(["b", "a", "c"]))
+        assert codes[1] < codes[0] < codes[2]
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=80))
+    def test_equality_preserved(self, values):
+        codes, _ = factorize(int_col(values))
+        for i in range(len(values)):
+            for j in range(i + 1, min(i + 5, len(values))):
+                assert (codes[i] == codes[j]) == (values[i] == values[j])
+
+
+class TestCombinedCodes:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.sampled_from("xyz")),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_tuple_equality(self, rows):
+        codes = combined_codes(
+            [int_col([a for a, _ in rows]), str_col([b for _, b in rows])]
+        )
+        for i in range(len(rows)):
+            for j in range(i + 1, min(i + 6, len(rows))):
+                assert (codes[i] == codes[j]) == (rows[i] == rows[j])
+
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            combined_codes([])
+
+
+class TestGroupByCodes:
+    def test_groups_and_representatives(self):
+        codes = np.array([5, 5, 2, 5, 2])
+        group_ids, representatives, n = group_by_codes(codes)
+        assert n == 2
+        assert group_ids[0] == group_ids[1] == group_ids[3]
+        assert group_ids[2] == group_ids[4]
+        assert set(representatives.tolist()) == {0, 2}
+
+
+class TestFirstOccurrence:
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=60))
+    def test_matches_python_dedupe(self, values):
+        codes = np.asarray(values, dtype=np.int64)
+        keep = first_occurrence_indices(codes)
+        expected = sorted({v: i for i, v in reversed(list(enumerate(values)))}.values())
+        assert keep.tolist() == expected
+
+
+class TestJoinCodes:
+    @given(
+        st.lists(st.sampled_from("abcd"), min_size=1, max_size=30),
+        st.lists(st.sampled_from("abcd"), min_size=1, max_size=30),
+    )
+    def test_cross_side_equality(self, left, right):
+        left_codes, right_codes = join_codes([str_col(left)], [str_col(right)])
+        for i, lv in enumerate(left):
+            for j, rv in enumerate(right):
+                assert (left_codes[i] == right_codes[j]) == (lv == rv)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            join_codes([int_col([1])], [])
+
+
+class TestSortIndices:
+    @given(
+        st.lists(
+            st.tuples(st.integers(-5, 5), st.sampled_from("pq")),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_matches_python_sort(self, rows):
+        a = int_col([x for x, _ in rows])
+        b = str_col([y for _, y in rows])
+        order = sort_indices([a, b], [True, False])
+        got = [rows[i] for i in order]
+        expected = sorted(rows, key=lambda r: (r[0], tuple(-ord(c) for c in r[1])))
+        assert got == expected
+
+    def test_stability(self):
+        rows = [(1, "x"), (1, "y"), (1, "z")]
+        order = sort_indices([int_col([r[0] for r in rows])], [True])
+        assert order.tolist() == [0, 1, 2]
+
+    def test_requires_keys(self):
+        with pytest.raises(ValueError):
+            sort_indices([], [])

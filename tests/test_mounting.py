@@ -1,0 +1,206 @@
+"""Tests for the mount service and interval extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CacheGranularity,
+    CachePolicy,
+    IngestionCache,
+    MountService,
+    interval_from_predicate,
+)
+from repro.core.cache import INF
+from repro.db.errors import IngestError
+from repro.db.expr import BoolOp, ColumnRef, Comparison, Literal
+from repro.db.types import DataType
+from repro.ingest import RepositoryBinding
+from repro.ingest.schema import BindingSet
+from repro.mseed import read_records
+
+
+def time_ref():
+    return ColumnRef("d.sample_time", DataType.TIMESTAMP)
+
+
+def ts_literal(micros):
+    return Literal(micros, DataType.TIMESTAMP)
+
+
+class TestIntervalExtraction:
+    def test_no_predicate(self):
+        assert interval_from_predicate(None, "d.sample_time") == (-INF, INF)
+
+    def test_range_conjuncts(self):
+        predicate = BoolOp(
+            "and",
+            [
+                Comparison(">", time_ref(), ts_literal(100)),
+                Comparison("<=", time_ref(), ts_literal(500)),
+            ],
+        )
+        assert interval_from_predicate(predicate, "d.sample_time") == (100, 500)
+
+    def test_mirrored_comparison(self):
+        predicate = Comparison("<", ts_literal(100), time_ref())
+        assert interval_from_predicate(predicate, "d.sample_time") == (100, INF)
+
+    def test_equality_pins_both_sides(self):
+        predicate = Comparison("=", time_ref(), ts_literal(42))
+        assert interval_from_predicate(predicate, "d.sample_time") == (42, 42)
+
+    def test_other_columns_ignored(self):
+        other = Comparison(
+            ">", ColumnRef("d.sample_value", DataType.FLOAT64), Literal.infer(1.0)
+        )
+        assert interval_from_predicate(other, "d.sample_time") == (-INF, INF)
+
+    def test_tightest_bounds_win(self):
+        predicate = BoolOp(
+            "and",
+            [
+                Comparison(">", time_ref(), ts_literal(10)),
+                Comparison(">", time_ref(), ts_literal(50)),
+                Comparison("<", time_ref(), ts_literal(900)),
+                Comparison("<", time_ref(), ts_literal(700)),
+            ],
+        )
+        assert interval_from_predicate(predicate, "d.sample_time") == (50, 700)
+
+
+@pytest.fixture()
+def service(tiny_repo):
+    return MountService(
+        BindingSet.single(RepositoryBinding(tiny_repo)),
+        IngestionCache(CachePolicy.UNBOUNDED),
+    )
+
+
+class TestMountFile:
+    def test_mount_matches_direct_read(self, tiny_repo, service):
+        uri = tiny_repo.uris()[0]
+        batch = service.mount_file(uri, "D", "d", None)
+        records = read_records(tiny_repo.path_of(uri))
+        expected = np.concatenate([r.samples for r in records])
+        assert np.array_equal(
+            batch.column("d.sample_value").values, expected.astype(np.float64)
+        )
+        assert batch.names == [
+            "d.uri", "d.record_id", "d.sample_time", "d.sample_value",
+        ]
+
+    def test_predicate_fused(self, tiny_repo, service):
+        uri = tiny_repo.uris()[0]
+        full = service.mount_file(uri, "D", "d", None)
+        times = full.column("d.sample_time").values
+        lo, hi = int(times[10]), int(times[50])
+        predicate = BoolOp(
+            "and",
+            [
+                Comparison(">=", time_ref(), ts_literal(lo)),
+                Comparison("<=", time_ref(), ts_literal(hi)),
+            ],
+        )
+        filtered = service.mount_file(uri, "D", "d", predicate)
+        assert filtered.num_rows == 41
+
+    def test_stats_updated(self, tiny_repo, service):
+        uri = tiny_repo.uris()[0]
+        service.mount_file(uri, "D", "d", None)
+        assert service.stats.mounts == 1
+        assert service.stats.tuples_mounted > 0
+        assert service.stats.bytes_read > 0
+
+    def test_unknown_table_rejected(self, service):
+        with pytest.raises(IngestError):
+            service.mount_file("any", "NOT_BOUND", "x", None)
+
+    def test_callbacks_see_canonical_batch(self, tiny_repo, service):
+        seen = {}
+
+        def callback(uri, batch):
+            seen[uri] = batch.names
+
+        service.add_mount_callback(callback)
+        uri = tiny_repo.uris()[0]
+        service.mount_file(uri, "D", "d", None)
+        assert seen[uri] == ["uri", "record_id", "sample_time", "sample_value"]
+
+
+class TestCacheScan:
+    def test_cache_scan_after_mount(self, tiny_repo, service):
+        uri = tiny_repo.uris()[0]
+        mounted = service.mount_file(uri, "D", "d", None)
+        cached = service.cache_scan(uri, "D", "d", None)
+        assert cached.num_rows == mounted.num_rows
+        assert service.stats.cache_scans == 1
+        assert service.stats.mounts == 1
+
+    def test_cache_scan_falls_back_to_mount(self, tiny_repo, service):
+        uri = tiny_repo.uris()[0]
+        result = service.cache_scan(uri, "D", "d", None)
+        assert result.num_rows > 0
+        assert service.stats.fallback_mounts == 1
+
+    def test_discard_policy_never_caches(self, tiny_repo):
+        service = MountService(
+            BindingSet.single(RepositoryBinding(tiny_repo)),
+            IngestionCache(CachePolicy.DISCARD),
+        )
+        uri = tiny_repo.uris()[0]
+        service.mount_file(uri, "D", "d", None)
+        assert not service.cache.contains(uri)
+
+
+class TestTupleGranularMounting:
+    def test_interval_stored_not_full_file(self, tiny_repo):
+        service = MountService(
+            BindingSet.single(RepositoryBinding(tiny_repo)),
+            IngestionCache(CachePolicy.UNBOUNDED, CacheGranularity.TUPLE),
+        )
+        uri = tiny_repo.uris()[0]
+        probe = service.mount_file(uri, "D", "d", None)
+        times = probe.column("d.sample_time").values
+        lo, hi = int(times[0]), int(times[99])
+        predicate = BoolOp(
+            "and",
+            [
+                Comparison(">=", time_ref(), ts_literal(lo)),
+                Comparison("<=", time_ref(), ts_literal(hi)),
+            ],
+        )
+        service.cache.clear()
+        service.mount_file(uri, "D", "d", predicate)
+        assert service.cache.contains(uri, (lo, hi))
+        assert not service.cache.contains(uri, (lo, hi + 10**12))
+        entry = service.cache.lookup(uri, (lo, hi))
+        assert entry.num_rows == 100  # only the interval's tuples retained
+
+    def test_value_predicates_not_baked_into_cache(self, tiny_repo):
+        """Non-time conjuncts must not narrow what the cache stores."""
+        service = MountService(
+            BindingSet.single(RepositoryBinding(tiny_repo)),
+            IngestionCache(CachePolicy.UNBOUNDED, CacheGranularity.TUPLE),
+        )
+        uri = tiny_repo.uris()[0]
+        probe = service.mount_file(uri, "D", "d", None)
+        times = probe.column("d.sample_time").values
+        lo, hi = int(times[0]), int(times[99])
+        value_pred = Comparison(
+            ">",
+            ColumnRef("d.sample_value", DataType.FLOAT64),
+            Literal.infer(10.0 ** 9),  # matches nothing
+        )
+        predicate = BoolOp(
+            "and",
+            [
+                Comparison(">=", time_ref(), ts_literal(lo)),
+                Comparison("<=", time_ref(), ts_literal(hi)),
+                value_pred,
+            ],
+        )
+        service.cache.clear()
+        delivered = service.mount_file(uri, "D", "d", predicate)
+        assert delivered.num_rows == 0  # value predicate filtered delivery
+        cached = service.cache.lookup(uri, (lo, hi))
+        assert cached.num_rows == 100  # but the cache kept the full interval

@@ -1,0 +1,135 @@
+"""Tests for multi-stage (batched) execution with early stopping."""
+
+import math
+
+import pytest
+
+from repro.core import MultiStageExecutor, PartialMerger, TwoStageExecutor, is_decomposable
+from repro.db.errors import PlanError
+from repro.db.plan.logical import Aggregate
+from repro.ingest import RepositoryBinding
+
+
+WHOLE_REPO_AVG = "SELECT AVG(sample_value) FROM D"
+STATION_SUM = (
+    "SELECT SUM(D.sample_value) FROM F JOIN D ON F.uri = D.uri "
+    "WHERE F.station = 'ISK'"
+)
+GROUPED = (
+    "SELECT F.channel, COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+    "GROUP BY F.channel"
+)
+
+
+class TestConvergence:
+    def test_full_run_matches_two_stage(self, executor, ei_db):
+        multi = MultiStageExecutor(executor, batch_files=2)
+        outcome = multi.execute(WHOLE_REPO_AVG)
+        assert outcome.converged
+        assert outcome.files_processed == outcome.total_files
+        expected = ei_db.execute(WHOLE_REPO_AVG).scalar()
+        assert outcome.result.rows()[0][0] == pytest.approx(expected)
+
+    def test_snapshots_progress(self, executor):
+        multi = MultiStageExecutor(executor, batch_files=3)
+        outcome = multi.execute(WHOLE_REPO_AVG)
+        processed = [s.files_processed for s in outcome.snapshots]
+        assert processed == sorted(processed)
+        assert processed[-1] == outcome.total_files
+        assert outcome.snapshots[-1].fraction == 1.0
+
+    def test_running_estimate_available_per_batch(self, executor):
+        multi = MultiStageExecutor(executor, batch_files=1)
+        outcome = multi.execute(STATION_SUM)
+        for snapshot in outcome.snapshots:
+            assert snapshot.running_rows is not None
+            assert len(snapshot.running_rows) == 1
+
+    def test_grouped_aggregate_supported(self, executor, ei_db):
+        multi = MultiStageExecutor(executor, batch_files=2)
+        outcome = multi.execute(GROUPED)
+        assert sorted(outcome.result.rows()) == sorted(
+            ei_db.execute(GROUPED).rows()
+        )
+
+
+class TestEarlyStop:
+    def test_max_batches_limits_files(self, executor):
+        multi = MultiStageExecutor(executor, batch_files=2, max_batches=1)
+        outcome = multi.execute(WHOLE_REPO_AVG)
+        assert not outcome.converged
+        assert outcome.approximate
+        assert outcome.files_processed == 2
+
+    def test_stop_condition_callback(self, executor):
+        multi = MultiStageExecutor(
+            executor,
+            batch_files=1,
+            stop_condition=lambda snap: snap.files_processed >= 3,
+        )
+        outcome = multi.execute(WHOLE_REPO_AVG)
+        assert outcome.files_processed == 3
+        assert not outcome.converged
+
+    def test_time_budget_stops_eventually(self, executor):
+        multi = MultiStageExecutor(
+            executor, batch_files=1, time_budget_seconds=0.0
+        )
+        outcome = multi.execute(WHOLE_REPO_AVG)
+        assert outcome.files_processed == 1  # stops after first batch
+
+    def test_approximate_average_is_plausible(self, executor, ei_db):
+        multi = MultiStageExecutor(executor, batch_files=2, max_batches=1)
+        outcome = multi.execute(WHOLE_REPO_AVG)
+        approx = outcome.result.rows()[0][0]
+        assert not math.isnan(approx)
+
+
+class TestValidation:
+    def test_batch_files_positive(self, executor):
+        with pytest.raises(ValueError):
+            MultiStageExecutor(executor, batch_files=0)
+
+    def test_non_aggregate_rejected(self, executor):
+        multi = MultiStageExecutor(executor)
+        with pytest.raises(PlanError):
+            multi.execute("SELECT sample_value FROM D LIMIT 3")
+
+    def test_metadata_only_passthrough(self, executor):
+        multi = MultiStageExecutor(executor)
+        outcome = multi.execute("SELECT COUNT(*) FROM F")
+        assert outcome.total_files == 0
+        assert outcome.converged
+
+
+class TestPartialMerger:
+    def aggregate_for(self, executor, sql):
+        decomposition = executor.prepare(sql)
+        return next(
+            n for n in decomposition.qs.walk() if isinstance(n, Aggregate)
+        )
+
+    def test_is_decomposable(self, executor):
+        agg = self.aggregate_for(executor, WHOLE_REPO_AVG)
+        assert is_decomposable(agg)
+
+    def test_avg_expands_to_sum_and_count(self, executor):
+        agg = self.aggregate_for(executor, WHOLE_REPO_AVG)
+        merger = PartialMerger(agg)
+        funcs = [s.func for s in merger.partial_specs]
+        assert sorted(funcs) == ["count", "sum"]
+
+    def test_merge_and_finalize(self, executor):
+        agg = self.aggregate_for(executor, WHOLE_REPO_AVG)
+        merger = PartialMerger(agg)
+        names = [s.out_name for s in merger.partial_specs]
+        merger.merge([(10.0, 2)], names)
+        merger.merge([(20.0, 3)], names)
+        (row,) = merger.finalized_rows()
+        assert row[0] == pytest.approx(30.0 / 5)
+
+    def test_scalar_zero_files_yields_nan(self, executor):
+        agg = self.aggregate_for(executor, WHOLE_REPO_AVG)
+        merger = PartialMerger(agg)
+        (row,) = merger.finalized_rows()
+        assert math.isnan(row[0])

@@ -1,0 +1,181 @@
+"""Tests for xSEED records, volumes, and header-only scanning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mseed import (
+    HEADER_SIZE,
+    RecordHeader,
+    XSeedRecord,
+    read_file_metadata,
+    read_records,
+    scan_headers,
+    write_volume,
+)
+from repro.mseed.steim import SteimError
+from repro.mseed.volume import iter_records
+
+
+def make_record(seq=0, station="ISK", channel="BHE", start=0, n=100, rate=20.0):
+    samples = np.cumsum(np.random.default_rng(seq).integers(-5, 5, n))
+    return XSeedRecord.create(
+        sequence=seq,
+        network="KO",
+        station=station,
+        location="",
+        channel=channel,
+        start_time=start,
+        sample_rate=rate,
+        samples=samples.astype(np.int32),
+    )
+
+
+class TestHeader:
+    def test_pack_size(self):
+        record = make_record()
+        assert len(record.header.pack()) == HEADER_SIZE
+
+    def test_pack_unpack_roundtrip(self):
+        header = make_record().header
+        assert RecordHeader.unpack(header.pack()) == header
+
+    def test_bad_magic(self):
+        raw = bytearray(make_record().header.pack())
+        raw[0] = ord("Z")
+        with pytest.raises(SteimError):
+            RecordHeader.unpack(bytes(raw))
+
+    def test_truncated_header(self):
+        with pytest.raises(SteimError):
+            RecordHeader.unpack(b"\x00" * 10)
+
+    def test_end_time(self):
+        header = make_record(start=1_000_000, n=21, rate=20.0).header
+        assert header.end_time == 1_000_000 + 1_000_000  # 20 steps at 20 Hz
+
+    def test_end_time_single_sample(self):
+        header = make_record(start=5, n=1).header
+        assert header.end_time == 5
+
+    def test_identifier_too_long(self):
+        with pytest.raises(SteimError):
+            make_record(station="TOOLONGNAME").header.pack()
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.sampled_from(["ISK", "AB", "XYZZY"]),
+        st.floats(0.01, 1000.0),
+        st.integers(0, 10**15),
+    )
+    @settings(deadline=None, max_examples=40)
+    def test_header_roundtrip_property(self, seq, station, rate, start):
+        header = RecordHeader(
+            sequence=seq,
+            network="KO",
+            station=station,
+            location="00",
+            channel="BHZ",
+            start_time=start,
+            sample_rate=rate,
+            nsamples=7,
+            encoding=1,
+            payload_len=64,
+        )
+        assert RecordHeader.unpack(header.pack()) == header
+
+
+class TestRecord:
+    def test_roundtrip(self):
+        record = make_record(n=250)
+        restored = XSeedRecord.unpack(record.pack())
+        assert restored.header == record.header
+        assert np.array_equal(restored.samples, record.samples)
+
+    def test_sample_times_spacing(self):
+        record = make_record(start=0, n=5, rate=2.0)
+        assert list(record.sample_times()) == [0, 500000, 1000000, 1500000, 2000000]
+
+    def test_truncated_payload(self):
+        raw = make_record().pack()
+        with pytest.raises(SteimError):
+            XSeedRecord.unpack(raw[: HEADER_SIZE + 10])
+
+    def test_unknown_encoding(self):
+        record = make_record()
+        bad_header = RecordHeader(
+            **{**record.header.__dict__, "encoding": 99}
+        )
+        raw = bad_header.pack() + record.payload
+        with pytest.raises(SteimError):
+            XSeedRecord.unpack(raw)
+
+
+class TestVolume:
+    def volume(self, tmp_path, nrecords=4):
+        records = [
+            make_record(seq=i, start=i * 5_000_000, n=100)
+            for i in range(nrecords)
+        ]
+        path = tmp_path / "vol.xseed"
+        write_volume(path, records)
+        return path, records
+
+    def test_write_read_roundtrip(self, tmp_path):
+        path, records = self.volume(tmp_path)
+        restored = read_records(path)
+        assert len(restored) == len(records)
+        for a, b in zip(restored, records):
+            assert a.header == b.header
+            assert np.array_equal(a.samples, b.samples)
+
+    def test_scan_headers_matches_full_read(self, tmp_path):
+        path, records = self.volume(tmp_path)
+        headers = scan_headers(path)
+        assert headers == [r.header for r in records]
+
+    def test_scan_headers_reads_less(self, tmp_path):
+        """Header-only scanning must not decode payloads — verified by cost:
+        the scan touches 64 bytes per record."""
+        records = [
+            make_record(seq=i, start=i * 5_000_000, n=2000) for i in range(8)
+        ]
+        path = tmp_path / "big.xseed"
+        write_volume(path, records)
+        headers = scan_headers(path)
+        header_bytes = len(headers) * HEADER_SIZE
+        assert path.stat().st_size > 3 * header_bytes
+
+    def test_iter_records_lazy(self, tmp_path):
+        path, _ = self.volume(tmp_path)
+        iterator = iter_records(path)
+        first = next(iterator)
+        assert first.header.sequence == 0
+
+    def test_truncated_volume(self, tmp_path):
+        path, _ = self.volume(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-8])
+        with pytest.raises(SteimError):
+            read_records(path)
+
+    def test_file_metadata_aggregates(self, tmp_path):
+        path, records = self.volume(tmp_path)
+        meta, headers = read_file_metadata(path)
+        assert meta.nrecords == len(records)
+        assert meta.nsamples == sum(r.header.nsamples for r in records)
+        assert meta.start_time == records[0].header.start_time
+        assert meta.end_time == records[-1].header.end_time
+        assert meta.station == "ISK"
+        assert meta.size_bytes == path.stat().st_size
+
+    def test_empty_volume_metadata_raises(self, tmp_path):
+        path = tmp_path / "empty.xseed"
+        path.write_bytes(b"")
+        with pytest.raises(SteimError):
+            read_file_metadata(path)
+
+    def test_write_returns_bytes(self, tmp_path):
+        path = tmp_path / "v.xseed"
+        written = write_volume(path, [make_record()])
+        assert written == path.stat().st_size

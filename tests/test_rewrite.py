@@ -1,0 +1,194 @@
+"""Tests for compile-time rewrite rules: pushdown, metadata-first
+reordering, and column pruning."""
+
+import pytest
+
+from repro.db import ColumnDef, Database, DataType, TableKind, TableSchema
+from repro.db.plan.logical import Join, Project, Scan, Select
+from repro.db.plan.rewrite import (
+    metadata_first_join_order,
+    prune_columns,
+    push_down_selections,
+)
+
+
+@pytest.fixture()
+def db():
+    db = Database()
+    for name, kind in (("M1", TableKind.METADATA), ("M2", TableKind.METADATA),
+                       ("A1", TableKind.ACTUAL)):
+        db.create_table(
+            TableSchema(
+                name,
+                [
+                    ColumnDef("k", DataType.INT64),
+                    ColumnDef("v", DataType.FLOAT64),
+                    ColumnDef("s", DataType.STRING),
+                ],
+                kind=kind,
+            )
+        )
+    return db
+
+
+def classify(db):
+    return db.catalog.is_metadata_table
+
+
+def scans_in(plan):
+    return [n for n in plan.walk() if isinstance(n, Scan)]
+
+
+class TestSelectionPushdown:
+    def test_single_table_conjunct_reaches_scan(self, db):
+        plan = db.bind_sql(
+            "SELECT M1.v FROM M1 JOIN A1 ON M1.k = A1.k WHERE M1.s = 'x'"
+        )
+        pushed = push_down_selections(plan)
+        join = pushed.child
+        assert isinstance(join, Join)
+        assert isinstance(join.left, Select)
+        assert isinstance(join.left.child, Scan)
+
+    def test_cross_product_plus_predicate_becomes_join(self, db):
+        plan = db.bind_sql("SELECT M1.v FROM M1, A1 WHERE M1.k = A1.k")
+        pushed = push_down_selections(plan)
+        join = pushed.child
+        assert isinstance(join, Join)
+        assert join.condition is not None
+
+    def test_conjuncts_split_between_sides(self, db):
+        plan = db.bind_sql(
+            "SELECT M1.v FROM M1 JOIN A1 ON M1.k = A1.k "
+            "WHERE M1.s = 'x' AND A1.v > 1.0"
+        )
+        pushed = push_down_selections(plan)
+        join = pushed.child
+        assert isinstance(join.left, Select)
+        assert isinstance(join.right, Select)
+
+    def test_results_unchanged_by_pushdown(self, db):
+        db.insert_rows("M1", [(1, 1.0, "x"), (2, 2.0, "y")])
+        db.insert_rows("A1", [(1, 10.0, "p"), (1, 20.0, "q"), (2, 30.0, "r")])
+        sql = (
+            "SELECT M1.s, A1.v FROM M1 JOIN A1 ON M1.k = A1.k "
+            "WHERE M1.s = 'x' AND A1.v > 5.0 ORDER BY A1.v"
+        )
+        raw = db.bind_sql(sql)
+        pushed = push_down_selections(raw)
+        assert db.execute_plan(raw).rows() == db.execute_plan(pushed).rows()
+
+
+class TestMetadataFirstReorder:
+    def test_paper_pattern(self, db):
+        """a1 ⋈ (m1 ⋈ m2): the metadata join is innermost (right-deep)."""
+        sql = (
+            "SELECT AVG(A1.v) FROM M1 JOIN A1 ON M1.k = A1.k "
+            "JOIN M2 ON M1.k = M2.k"
+        )
+        plan = push_down_selections(db.bind_sql(sql))
+        reordered = metadata_first_join_order(plan, classify(db))
+        # Top join's left subtree holds the actual scan, right the metadata.
+        top_join = next(n for n in reordered.walk() if isinstance(n, Join))
+        left_tables = {s.table_name for s in scans_in(top_join.left)}
+        right_tables = {s.table_name for s in scans_in(top_join.right)}
+        assert left_tables == {"A1"}
+        assert right_tables == {"M1", "M2"}
+
+    def test_join_conditions_preserved_semantically(self, db):
+        db.insert_rows("M1", [(1, 1.0, "x"), (2, 2.0, "y")])
+        db.insert_rows("M2", [(1, 5.0, "m"), (2, 6.0, "n")])
+        db.insert_rows("A1", [(1, 10.0, "a"), (2, 20.0, "b"), (3, 30.0, "c")])
+        sql = (
+            "SELECT M1.s, M2.s, A1.v FROM M1 JOIN A1 ON M1.k = A1.k "
+            "JOIN M2 ON M1.k = M2.k ORDER BY A1.v"
+        )
+        plan = push_down_selections(db.bind_sql(sql))
+        reordered = metadata_first_join_order(plan, classify(db))
+        assert (
+            db.execute_plan(plan).rows() == db.execute_plan(reordered).rows()
+        )
+
+    def test_metadata_only_plan_unchanged_shape(self, db):
+        sql = "SELECT M1.v FROM M1 JOIN M2 ON M1.k = M2.k"
+        plan = push_down_selections(db.bind_sql(sql))
+        reordered = metadata_first_join_order(plan, classify(db))
+        assert {s.table_name for s in scans_in(reordered)} == {"M1", "M2"}
+
+    def test_single_table_noop(self, db):
+        plan = push_down_selections(db.bind_sql("SELECT v FROM A1"))
+        reordered = metadata_first_join_order(plan, classify(db))
+        assert isinstance(reordered, Project)
+
+    def test_cartesian_product_allowed_in_metadata_branch(self, db):
+        """Qf may contain cartesian products (§3)."""
+        db.insert_rows("M1", [(1, 1.0, "x")])
+        db.insert_rows("M2", [(2, 2.0, "y")])
+        db.insert_rows("A1", [(1, 10.0, "a")])
+        sql = (
+            "SELECT M1.s FROM M1, M2, A1 WHERE M1.k = A1.k"
+        )
+        plan = push_down_selections(db.bind_sql(sql))
+        reordered = metadata_first_join_order(plan, classify(db))
+        assert db.execute_plan(reordered).rows() == [("x",)]
+
+
+class TestPruneColumns:
+    def test_scan_trimmed_to_used_columns(self, db):
+        plan = push_down_selections(db.bind_sql("SELECT v FROM M1"))
+        pruned = prune_columns(plan)
+        scan = scans_in(pruned)[0]
+        assert scan.output_keys() == ["m1.v"]
+
+    def test_predicate_columns_kept(self, db):
+        plan = push_down_selections(
+            db.bind_sql("SELECT v FROM M1 WHERE s = 'x'")
+        )
+        pruned = prune_columns(plan)
+        scan = scans_in(pruned)[0]
+        assert set(scan.output_keys()) == {"m1.v", "m1.s"}
+
+    def test_count_star_keeps_one_column(self, db):
+        plan = db.bind_sql("SELECT COUNT(*) FROM M1")
+        pruned = prune_columns(plan)
+        scan = scans_in(pruned)[0]
+        assert len(scan.output_keys()) == 1
+
+    def test_join_keys_survive(self, db):
+        plan = push_down_selections(
+            db.bind_sql("SELECT M1.v FROM M1 JOIN A1 ON M1.k = A1.k")
+        )
+        pruned = prune_columns(plan)
+        for scan in scans_in(pruned):
+            assert any(key.endswith(".k") for key in scan.output_keys())
+
+    def test_pruned_results_identical(self, db):
+        db.insert_rows("M1", [(1, 1.0, "x"), (2, 2.0, "y")])
+        db.insert_rows("A1", [(1, 10.0, "a"), (2, 20.0, "b")])
+        sql = (
+            "SELECT M1.s, A1.v FROM M1 JOIN A1 ON M1.k = A1.k "
+            "WHERE A1.v > 5.0 ORDER BY A1.v"
+        )
+        plan = push_down_selections(db.bind_sql(sql))
+        pruned = prune_columns(plan)
+        assert db.execute_plan(plan).rows() == db.execute_plan(pruned).rows()
+
+
+class TestFullPipeline:
+    def test_optimize_produces_paper_q1_shape(self, db):
+        """After the full pipeline the plan matches §3's worked example:
+        γ(σp3(scan(A)) ⋈ (σp1(scan(M1)) ⋈ σp2(scan(M2))))."""
+        sql = (
+            "SELECT AVG(A1.v) FROM M1 JOIN M2 ON M1.k = M2.k "
+            "JOIN A1 ON M2.k = A1.k "
+            "WHERE M1.s = 'x' AND M2.v > 0.5 AND A1.v < 100.0"
+        )
+        plan = db.optimize(db.bind_sql(sql), metadata_first=True)
+        top_join = next(n for n in plan.walk() if isinstance(n, Join))
+        # Left side: selection over the actual scan.
+        assert isinstance(top_join.left, Select)
+        assert isinstance(top_join.left.child, Scan)
+        assert top_join.left.child.table_name == "A1"
+        # Right side: the metadata branch with its own selections.
+        right_tables = {s.table_name for s in scans_in(top_join.right)}
+        assert right_tables == {"M1", "M2"}

@@ -1,0 +1,215 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.db.errors import SqlSyntaxError
+from repro.db.sql import (
+    EBetween,
+    EBinary,
+    EColumn,
+    EFunc,
+    EIn,
+    ELiteral,
+    EStar,
+    EUnary,
+    parse_sql,
+)
+
+
+class TestSelectList:
+    def test_single_column(self):
+        stmt = parse_sql("SELECT x FROM t")
+        assert stmt.items[0].expr == EColumn(None, "x")
+
+    def test_qualified_column(self):
+        stmt = parse_sql("SELECT t.x FROM t")
+        assert stmt.items[0].expr == EColumn("t", "x")
+
+    def test_alias_with_as(self):
+        stmt = parse_sql("SELECT x AS y FROM t")
+        assert stmt.items[0].alias == "y"
+
+    def test_alias_without_as(self):
+        stmt = parse_sql("SELECT x y FROM t")
+        assert stmt.items[0].alias == "y"
+
+    def test_star(self):
+        stmt = parse_sql("SELECT * FROM t")
+        assert stmt.items[0].expr == EStar()
+
+    def test_qualified_star(self):
+        stmt = parse_sql("SELECT t.* FROM t")
+        assert stmt.items[0].expr == EStar("t")
+
+    def test_multiple_items(self):
+        stmt = parse_sql("SELECT a, b, a + b FROM t")
+        assert len(stmt.items) == 3
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT x FROM t").distinct
+
+
+class TestFromClause:
+    def test_single_table(self):
+        stmt = parse_sql("SELECT x FROM t")
+        assert stmt.from_tables[0].name == "t"
+
+    def test_table_alias(self):
+        stmt = parse_sql("SELECT x FROM table1 AS t")
+        assert stmt.from_tables[0].alias == "t"
+
+    def test_comma_join(self):
+        stmt = parse_sql("SELECT x FROM a, b")
+        assert len(stmt.from_tables) == 2
+
+    def test_inner_join_with_on(self):
+        stmt = parse_sql("SELECT x FROM a JOIN b ON a.id = b.id")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].condition is not None
+
+    def test_paper_query1_joins(self):
+        stmt = parse_sql(
+            "SELECT AVG(D.sample_value) FROM F JOIN R ON F.uri = R.uri "
+            "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id "
+            "WHERE F.station = 'ISK'"
+        )
+        assert [j.table.name for j in stmt.joins] == ["R", "D"]
+        assert isinstance(stmt.where, EBinary)
+
+    def test_cross_join(self):
+        stmt = parse_sql("SELECT x FROM a CROSS JOIN b")
+        assert stmt.joins[0].condition is None
+
+
+class TestWhere:
+    def test_comparison(self):
+        stmt = parse_sql("SELECT x FROM t WHERE x > 5")
+        assert stmt.where == EBinary(">", EColumn(None, "x"), ELiteral(5))
+
+    def test_and_or_precedence(self):
+        stmt = parse_sql("SELECT x FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, EBinary) and stmt.where.op == "or"
+        assert stmt.where.right.op == "and"
+
+    def test_not(self):
+        stmt = parse_sql("SELECT x FROM t WHERE NOT a = 1")
+        assert stmt.where == EUnary("not", EBinary("=", EColumn(None, "a"), ELiteral(1)))
+
+    def test_between(self):
+        stmt = parse_sql("SELECT x FROM t WHERE x BETWEEN 1 AND 5")
+        assert stmt.where == EBetween(EColumn(None, "x"), ELiteral(1), ELiteral(5))
+
+    def test_not_between(self):
+        stmt = parse_sql("SELECT x FROM t WHERE x NOT BETWEEN 1 AND 5")
+        assert stmt.where.negated
+
+    def test_in_list(self):
+        stmt = parse_sql("SELECT x FROM t WHERE s IN ('a', 'b')")
+        assert stmt.where == EIn(
+            EColumn(None, "s"), (ELiteral("a"), ELiteral("b")), False
+        )
+
+    def test_not_in(self):
+        stmt = parse_sql("SELECT x FROM t WHERE s NOT IN ('a')")
+        assert stmt.where.negated
+
+    def test_boolean_literals(self):
+        stmt = parse_sql("SELECT x FROM t WHERE true OR false")
+        assert stmt.where == EBinary("or", ELiteral(True), ELiteral(False))
+
+
+class TestExpressions:
+    def where(self, text):
+        return parse_sql(f"SELECT x FROM t WHERE {text}").parse_error \
+            if False else parse_sql(f"SELECT x FROM t WHERE {text}").where
+
+    def item(self, text):
+        return parse_sql(f"SELECT {text} FROM t").items[0].expr
+
+    def test_arithmetic_precedence(self):
+        expr = self.item("1 + 2 * 3")
+        assert expr == EBinary("+", ELiteral(1), EBinary("*", ELiteral(2), ELiteral(3)))
+
+    def test_parentheses(self):
+        expr = self.item("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_unary_minus(self):
+        assert self.item("-x") == EUnary("-", EColumn(None, "x"))
+
+    def test_unary_plus_dropped(self):
+        assert self.item("+x") == EColumn(None, "x")
+
+    def test_function_call(self):
+        assert self.item("abs(x)") == EFunc("abs", (EColumn(None, "x"),))
+
+    def test_count_star(self):
+        assert self.item("COUNT(*)") == EFunc("count", (), star=True)
+
+    def test_count_star_only_for_count(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT SUM(*) FROM t")
+
+    def test_count_distinct(self):
+        expr = self.item("COUNT(DISTINCT x)")
+        assert expr.distinct
+
+    def test_division_and_modulo(self):
+        expr = self.item("a / b % c")
+        assert expr.op == "%"
+
+
+class TestTrailingClauses:
+    def test_group_by(self):
+        stmt = parse_sql("SELECT s, COUNT(*) FROM t GROUP BY s")
+        assert stmt.group_by == [EColumn(None, "s")]
+
+    def test_group_by_multiple(self):
+        stmt = parse_sql("SELECT a, b, COUNT(*) FROM t GROUP BY a, b")
+        assert len(stmt.group_by) == 2
+
+    def test_having(self):
+        stmt = parse_sql(
+            "SELECT s, COUNT(*) FROM t GROUP BY s HAVING COUNT(*) > 2"
+        )
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse_sql("SELECT x FROM t ORDER BY a ASC, b DESC, c")
+        assert [o.ascending for o in stmt.order_by] == [True, False, True]
+
+    def test_limit(self):
+        assert parse_sql("SELECT x FROM t LIMIT 10").limit == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT x FROM t LIMIT 1.5")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT",
+            "SELECT x",
+            "SELECT x FROM",
+            "SELECT x FROM t WHERE",
+            "SELECT x FROM t GROUP",
+            "SELECT x FROM t trailing garbage (",
+            "SELECT x FROM t WHERE x NOT 5",
+            "FROM t SELECT x",
+            "SELECT x, FROM t",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql(bad)
+
+    def test_missing_on_expression(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT x FROM a JOIN b ON")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT (x FROM t")

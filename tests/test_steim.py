@@ -1,0 +1,123 @@
+"""Unit and property tests for the Steim1-style codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mseed import SteimError, steim_decode, steim_encode
+
+
+class TestRoundtrip:
+    def test_small_deltas(self):
+        x = np.cumsum(np.ones(100, dtype=np.int64)).astype(np.int32)
+        assert np.array_equal(steim_decode(steim_encode(x), 100), x)
+
+    def test_single_sample(self):
+        x = np.array([42], dtype=np.int32)
+        assert np.array_equal(steim_decode(steim_encode(x), 1), x)
+
+    def test_constant_signal(self):
+        x = np.full(1000, -7, dtype=np.int32)
+        assert np.array_equal(steim_decode(steim_encode(x), 1000), x)
+
+    def test_mixed_magnitudes(self):
+        rng = np.random.default_rng(1)
+        parts = [
+            rng.integers(-5, 5, 100),
+            rng.integers(-30000, 30000, 100),
+            rng.integers(-2**29, 2**29, 50),
+        ]
+        x = np.cumsum(np.concatenate(parts) // 2).astype(np.int32)
+        x = np.clip(x, -2**30, 2**30).astype(np.int32)
+        assert np.array_equal(steim_decode(steim_encode(x), len(x)), x)
+
+    def test_empty(self):
+        assert steim_encode(np.array([], dtype=np.int32)) == b""
+        assert len(steim_decode(b"", 0)) == 0
+
+    def test_negative_start(self):
+        x = np.array([-1000000, -999999, -999998], dtype=np.int32)
+        assert np.array_equal(steim_decode(steim_encode(x), 3), x)
+
+    def test_length_not_multiple_of_four(self):
+        x = np.arange(13, dtype=np.int32)
+        assert np.array_equal(steim_decode(steim_encode(x), 13), x)
+
+
+class TestCompression:
+    def test_smooth_signal_compresses(self):
+        x = np.cumsum(np.random.default_rng(0).integers(-3, 3, 10000))
+        payload = steim_encode(x.astype(np.int32))
+        assert len(payload) < 0.4 * x.size * 4
+
+    def test_payload_is_whole_frames(self):
+        for n in (1, 5, 63, 64, 200):
+            payload = steim_encode(np.arange(n, dtype=np.int32))
+            assert len(payload) % 64 == 0
+
+    def test_noisy_signal_does_not_explode(self):
+        rng = np.random.default_rng(3)
+        x = rng.integers(-2**28, 2**28, 5000).astype(np.int32)
+        # Worst case ~ 4/3 overhead for full 32-bit deltas plus headers.
+        payload = steim_encode(x)
+        assert len(payload) < 1.25 * x.size * 4
+
+
+class TestErrors:
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(SteimError):
+            steim_encode(np.zeros((2, 2), dtype=np.int32))
+
+    def test_out_of_range_samples_rejected(self):
+        with pytest.raises(SteimError):
+            steim_encode(np.array([2**33], dtype=np.int64))
+
+    def test_oversized_jump_rejected(self):
+        x = np.array([-2**31 + 1, 2**31 - 1], dtype=np.int64)
+        with pytest.raises(SteimError):
+            steim_encode(x)
+
+    def test_truncated_payload(self):
+        payload = steim_encode(np.arange(100, dtype=np.int32))
+        with pytest.raises(SteimError):
+            steim_decode(payload[:-10], 100)
+
+    def test_wrong_nsamples(self):
+        payload = steim_encode(np.arange(16, dtype=np.int32))
+        with pytest.raises(SteimError):
+            steim_decode(payload, 10_000)
+
+    def test_corrupted_payload_detected(self):
+        """Flipping a data word breaks the reverse integration constant."""
+        payload = bytearray(steim_encode(np.arange(100, dtype=np.int32)))
+        payload[20] ^= 0xFF
+        with pytest.raises(SteimError):
+            steim_decode(bytes(payload), 100)
+
+    def test_nonempty_payload_for_zero_samples(self):
+        payload = steim_encode(np.arange(4, dtype=np.int32))
+        with pytest.raises(SteimError):
+            steim_decode(payload, 0)
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    st.lists(st.integers(-(2**30), 2**30), min_size=1, max_size=300)
+)
+def test_roundtrip_property(values):
+    x = np.asarray(values, dtype=np.int32)
+    if len(x) > 1 and np.abs(np.diff(x.astype(np.int64))).max() > 2**31 - 1:
+        with pytest.raises(SteimError):
+            steim_encode(x)
+        return
+    decoded = steim_decode(steim_encode(x), len(x))
+    assert np.array_equal(decoded, x)
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(1, 500), st.integers(0, 2**32 - 1))
+def test_roundtrip_random_walk(n, seed):
+    rng = np.random.default_rng(seed)
+    steps = rng.integers(-1000, 1000, n)
+    x = np.cumsum(steps).astype(np.int32)
+    assert np.array_equal(steim_decode(steim_encode(x), n), x)

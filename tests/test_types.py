@@ -1,0 +1,118 @@
+"""Unit and property tests for the column type system."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.errors import TypeError_
+from repro.db.types import (
+    DataType,
+    common_numeric_type,
+    comparable,
+    format_timestamp,
+    looks_like_timestamp,
+    parse_timestamp,
+)
+
+
+class TestParseTimestamp:
+    def test_date_only(self):
+        assert parse_timestamp("1970-01-01") == 0
+
+    def test_full_datetime(self):
+        assert parse_timestamp("1970-01-01T00:00:01") == 1_000_000
+
+    def test_space_separator(self):
+        assert parse_timestamp("1970-01-01 00:00:01") == 1_000_000
+
+    def test_fractional_milliseconds(self):
+        assert parse_timestamp("1970-01-01T00:00:00.5") == 500_000
+
+    def test_fractional_microseconds(self):
+        assert parse_timestamp("1970-01-01T00:00:00.000001") == 1
+
+    def test_paper_query_literal(self):
+        micros = parse_timestamp("2010-01-12T22:15:00.000")
+        assert micros == 1_263_334_500_000_000
+
+    def test_surrounding_whitespace(self):
+        assert parse_timestamp("  1970-01-02  ") == 86_400_000_000
+
+    @pytest.mark.parametrize(
+        "bad", ["", "nonsense", "2010-13-01", "2010-01-32", "2010-01-01T25:00:00"]
+    )
+    def test_invalid_raises(self, bad):
+        with pytest.raises(TypeError_):
+            parse_timestamp(bad)
+
+    def test_pre_epoch(self):
+        assert parse_timestamp("1969-12-31") == -86_400_000_000
+
+
+class TestFormatTimestamp:
+    def test_whole_second(self):
+        assert format_timestamp(0) == "1970-01-01T00:00:00"
+
+    def test_with_micros(self):
+        assert format_timestamp(1_500_000).startswith("1970-01-01T00:00:01.5")
+
+    @given(st.integers(min_value=0, max_value=4_000_000_000_000_000))
+    def test_roundtrip(self, micros):
+        assert parse_timestamp(format_timestamp(micros)) == micros
+
+
+class TestLooksLikeTimestamp:
+    def test_positive(self):
+        assert looks_like_timestamp("2010-01-12T22:15:00.000")
+
+    def test_negative(self):
+        assert not looks_like_timestamp("ISK")
+        assert not looks_like_timestamp("123")
+
+
+class TestDataType:
+    def test_numpy_dtypes(self):
+        import numpy as np
+
+        assert DataType.INT64.numpy_dtype == np.dtype(np.int64)
+        assert DataType.STRING.numpy_dtype == np.dtype(np.int32)
+        assert DataType.BOOL.numpy_dtype == np.dtype(np.bool_)
+
+    def test_is_numeric(self):
+        assert DataType.INT64.is_numeric
+        assert DataType.FLOAT64.is_numeric
+        assert not DataType.STRING.is_numeric
+        assert not DataType.TIMESTAMP.is_numeric
+
+    def test_common_numeric_type(self):
+        assert common_numeric_type(DataType.INT64, DataType.INT64) is DataType.INT64
+        assert (
+            common_numeric_type(DataType.INT64, DataType.FLOAT64)
+            is DataType.FLOAT64
+        )
+
+    def test_common_numeric_rejects_strings(self):
+        with pytest.raises(TypeError_):
+            common_numeric_type(DataType.STRING, DataType.INT64)
+
+    def test_comparable_rules(self):
+        assert comparable(DataType.INT64, DataType.FLOAT64)
+        assert comparable(DataType.TIMESTAMP, DataType.STRING)
+        assert comparable(DataType.STRING, DataType.STRING)
+        assert not comparable(DataType.BOOL, DataType.INT64)
+        assert not comparable(DataType.STRING, DataType.INT64)
+
+
+@given(
+    st.datetimes(
+        min_value=dt.datetime(1980, 1, 1),
+        max_value=dt.datetime(2035, 1, 1),
+    )
+)
+def test_parse_matches_datetime(moment):
+    text = moment.strftime("%Y-%m-%dT%H:%M:%S.%f")
+    expected = int(
+        (moment - dt.datetime(1970, 1, 1)).total_seconds() * 1_000_000
+    )
+    assert abs(parse_timestamp(text) - expected) <= 1

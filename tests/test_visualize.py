@@ -1,0 +1,67 @@
+"""Tests for waveform visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.explore import downsample, sparkline, waveform_panel
+
+
+class TestDownsample:
+    def test_short_series_passthrough(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert list(downsample(values, 10)) == [1.0, 2.0, 3.0]
+
+    def test_bucket_count(self):
+        out = downsample(np.arange(1000, dtype=float), 50)
+        assert len(out) == 50
+
+    def test_keeps_transients(self):
+        """The per-bucket extreme keeps a single spike visible."""
+        values = np.zeros(1000)
+        values[500] = 99.0
+        out = downsample(values, 20)
+        assert out.max() == 99.0
+
+    def test_keeps_negative_extremes(self):
+        values = np.zeros(1000)
+        values[123] = -50.0
+        out = downsample(values, 10)
+        assert out.min() == -50.0
+
+    def test_empty(self):
+        assert len(downsample(np.empty(0), 5)) == 0
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            downsample(np.ones(5), 0)
+
+
+class TestSparkline:
+    def test_width(self):
+        line = sparkline(np.sin(np.linspace(0, 10, 1000)), width=40)
+        assert len(line) == 40
+
+    def test_constant_signal(self):
+        line = sparkline(np.ones(100), width=10)
+        assert len(set(line)) == 1
+
+    def test_extremes_use_extreme_blocks(self):
+        line = sparkline([0.0, 0.0, 10.0, 0.0], width=4)
+        assert "█" in line
+
+    def test_empty(self):
+        assert sparkline([], width=10) == ""
+
+
+class TestWaveformPanel:
+    def test_panel_contents(self):
+        times = np.arange(5) * 1_000_000
+        values = np.array([0.0, 1.0, -2.0, 3.0, 0.5])
+        panel = waveform_panel(times, values, width=5, label="ISK/BHE")
+        assert "ISK/BHE" in panel
+        assert "5 samples" in panel
+        assert "1970-01-01T00:00:00" in panel
+        assert "-2.0" in panel and "3.0" in panel
+
+    def test_empty_panel(self):
+        assert "no samples" in waveform_panel([], [], label="x")
