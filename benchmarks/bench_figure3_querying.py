@@ -53,6 +53,35 @@ def test_ali(env, benchmark, query_name, state):
     _bench_query(benchmark, env.fresh_executor(), sql, state)
 
 
+@pytest.mark.parametrize("query_name", ["query1", "query2"])
+def test_ali_parallel_mounts(env, benchmark, query_name):
+    """ALi COLD with stage 2 fanned out to 4 mount workers (experiment A6).
+
+    Prints the per-worker mount accounting next to the Figure 3 bars: the
+    serialized mount cost, the critical path the pool achieved, and the
+    resulting mount-phase speedup. Query 1 mounts a single file, so its
+    pool degrades to serial — the interesting row is Query 2.
+    """
+    sql = getattr(env.queries, query_name)
+    engine = env.fresh_executor(mount_workers=4)
+    _bench_query(benchmark, engine, sql, "COLD")
+    report = env.fresh_executor(mount_workers=4)
+    report.db.make_cold()
+    timings = report.execute(sql).timings
+    print()
+    print(
+        f"{query_name}: {timings.mount_files} mount(s) on "
+        f"{timings.mount_workers} workers; serialized "
+        f"{timings.mount_serial_seconds * 1000:.1f} ms, critical path "
+        f"{timings.mount_wall_seconds * 1000:.1f} ms "
+        f"({timings.mount_speedup:.2f}x); per-worker busy: "
+        + ", ".join(
+            f"w{worker}={seconds * 1000:.1f}ms"
+            for worker, seconds in sorted(timings.mount_worker_seconds.items())
+        )
+    )
+
+
 def test_figure3_report(env, benchmark):
     """Print the full figure and assert the paper's qualitative claims."""
     entries = benchmark.pedantic(run_figure3, args=(env,), kwargs={"runs": 3}, rounds=1, iterations=1)

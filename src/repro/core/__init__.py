@@ -37,6 +37,7 @@ from .informativeness import (
     estimate_informativeness,
 )
 from .mounting import MountService, MountStats, interval_from_predicate
+from .mountpool import MountPool, MountPoolTimings, MountTaskTiming
 from .multistage import BatchSnapshot, MultiStageExecutor, MultiStageResult
 from .partial import PartialMerger, is_decomposable
 from .rules import RewriteReport, apply_ali_rewrite, rewrite_actual_scan
@@ -71,6 +72,9 @@ __all__ = [
     "CallbackPolicy",
     "MountService",
     "MountStats",
+    "MountPool",
+    "MountPoolTimings",
+    "MountTaskTiming",
     "interval_from_predicate",
     "MultiStageExecutor",
     "MultiStageResult",

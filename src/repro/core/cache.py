@@ -15,11 +15,20 @@ A tuple-granular entry records the closed time interval it covers; a request
 is served only when some entry's interval is a superset of the requested
 one — otherwise the whole file must be mounted again, exactly the trade-off
 §3 points out.
+
+The cache is shared by every worker of a :class:`~repro.core.mountpool.MountPool`,
+so all public operations take an internal lock: lookups (which move LRU
+entries), stores (insertion + byte accounting + eviction) and invalidation
+are each atomic. Interval bookkeeping in ``_matching_key`` iterates the
+entry table and is therefore only called with the lock held. File-level
+double mounting is prevented one layer up (the pool single-flights per
+URI); re-storing an existing key is an idempotent no-op either way.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
@@ -83,10 +92,16 @@ class IngestionCache:
         self.stats = CacheStats()
         # Key: uri for FILE granularity, (uri, interval) for TUPLE.
         self._entries: OrderedDict[object, _Entry] = OrderedDict()
+        # Reentrant: a locked public method may call another (e.g. store →
+        # eviction); reentrancy also keeps single-threaded callers cheap.
+        self._lock = threading.RLock()
 
     # -- lookup -------------------------------------------------------------
 
     def _matching_key(self, uri: str, request: Interval) -> Optional[object]:
+        """Find a covering entry. Caller must hold ``self._lock``: the scan
+        over interval entries is a read of state another thread may be
+        rewriting (the read-modify-write this lock exists for)."""
         if self.granularity is CacheGranularity.FILE:
             return uri if uri in self._entries else None
         for key, entry in self._entries.items():
@@ -98,24 +113,27 @@ class IngestionCache:
 
     def contains(self, uri: str, request: Interval = WHOLE_FILE) -> bool:
         """Whether rule (1) should emit cache-scan(f) instead of mount(f)."""
-        return self._matching_key(uri, request) is not None
+        with self._lock:
+            return self._matching_key(uri, request) is not None
 
     def lookup(
         self, uri: str, request: Interval = WHOLE_FILE
     ) -> Optional[ColumnBatch]:
         """The cached batch covering ``request``, or None (counts a miss)."""
-        key = self._matching_key(uri, request)
-        if key is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        self._entries.move_to_end(key)
-        return self._entries[key].batch
+        with self._lock:
+            key = self._matching_key(uri, request)
+            if key is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key].batch
 
     def cached_uris(self) -> set[str]:
-        if self.granularity is CacheGranularity.FILE:
-            return {key for key in self._entries}  # type: ignore[misc]
-        return {key[0] for key in self._entries}  # type: ignore[index]
+        with self._lock:
+            if self.granularity is CacheGranularity.FILE:
+                return {key for key in self._entries}  # type: ignore[misc]
+            return {key[0] for key in self._entries}  # type: ignore[index]
 
     # -- store ---------------------------------------------------------------
 
@@ -136,14 +154,15 @@ class IngestionCache:
             interval = WHOLE_FILE
         else:
             key = (uri, interval)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            return
-        entry = _Entry(interval, batch)
-        self._entries[key] = entry
-        self.stats.insertions += 1
-        self.stats.current_bytes += entry.nbytes
-        self._evict_if_needed()
+        entry = _Entry(interval, batch)  # size the batch outside the lock
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = entry
+            self.stats.insertions += 1
+            self.stats.current_bytes += entry.nbytes
+            self._evict_if_needed()
 
     def _evict_if_needed(self) -> None:
         if self.policy is not CachePolicy.LRU:
@@ -158,18 +177,21 @@ class IngestionCache:
 
     def invalidate(self, uri: str) -> None:
         """Drop all entries of one file (e.g. the file changed on disk)."""
-        doomed = [
-            key
-            for key in self._entries
-            if key == uri or (isinstance(key, tuple) and key[0] == uri)
-        ]
-        for key in doomed:
-            entry = self._entries.pop(key)
-            self.stats.current_bytes -= entry.nbytes
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if key == uri or (isinstance(key, tuple) and key[0] == uri)
+            ]
+            for key in doomed:
+                entry = self._entries.pop(key)
+                self.stats.current_bytes -= entry.nbytes
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.stats.current_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self.stats.current_bytes = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -47,6 +47,7 @@ from .informativeness import (
     estimate_informativeness,
 )
 from .mounting import MountService, interval_from_predicate
+from .mountpool import MountPool, MountPoolTimings
 from .partial import PartialMerger, is_decomposable
 from .rules import RewriteReport, apply_ali_rewrite
 
@@ -58,12 +59,24 @@ _PARTIAL_TAG = "partial_agg"
 
 @dataclass
 class StageTimings:
-    """Wall-clock CPU per physical step (simulated I/O tracked separately)."""
+    """Wall-clock CPU per physical step (simulated I/O tracked separately).
+
+    The ``mount_*`` fields describe the stage-2 mount phase as seen by the
+    :class:`~repro.core.mountpool.MountPool`: how many files were extracted,
+    by how many workers, the serialized cost (sum over files of real extract
+    time + simulated disk time) and the critical path (the busiest worker's
+    chain). ``mount_speedup`` is the observable effect of ``mount_workers``.
+    """
 
     compile_seconds: float = 0.0
     stage1_seconds: float = 0.0
     runtime_opt_seconds: float = 0.0
     stage2_seconds: float = 0.0
+    mount_workers: int = 1
+    mount_files: int = 0
+    mount_serial_seconds: float = 0.0
+    mount_wall_seconds: float = 0.0
+    mount_worker_seconds: dict[int, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -73,6 +86,24 @@ class StageTimings:
             + self.runtime_opt_seconds
             + self.stage2_seconds
         )
+
+    @property
+    def mount_speedup(self) -> float:
+        """serialized mount cost / critical path (1.0 when nothing mounted)."""
+        if self.mount_wall_seconds <= 0:
+            return 1.0
+        return self.mount_serial_seconds / self.mount_wall_seconds
+
+    def record_mounts(self, workers: int, timings: MountPoolTimings) -> None:
+        """Fold one mount pool's observations into these timings."""
+        self.mount_workers = workers
+        self.mount_files += timings.files
+        self.mount_serial_seconds += timings.serial_seconds
+        self.mount_wall_seconds += timings.wall_seconds
+        for worker, busy in timings.worker_seconds.items():
+            self.mount_worker_seconds[worker] = (
+                self.mount_worker_seconds.get(worker, 0.0) + busy
+            )
 
 
 @dataclass
@@ -117,11 +148,15 @@ class TwoStageExecutor:
         strategy: str = BULK,
         derived=None,  # Optional[DerivedMetadataStore]
         estimate: bool = True,
+        mount_workers: int = 1,
+        mount_inflight: Optional[int] = None,
     ) -> None:
         if isinstance(bindings, RepositoryBinding):
             bindings = BindingSet.single(bindings)
         if strategy not in (BULK, PER_FILE):
             raise ValueError(f"unknown strategy {strategy!r}")
+        if mount_workers < 1:
+            raise ValueError("mount_workers must be >= 1")
         self.db = db
         self.bindings = bindings
         # `cache or ...` would discard an *empty* cache (len() == 0 is falsy).
@@ -132,6 +167,8 @@ class TwoStageExecutor:
         self.strategy = strategy
         self.derived = derived
         self.estimate = estimate
+        self.mount_workers = mount_workers
+        self.mount_inflight = mount_inflight
         if derived is not None:
             self.mounts.add_mount_callback(derived.on_mount)
 
@@ -154,6 +191,18 @@ class TwoStageExecutor:
         return self.prepare(sql).explain()
 
     # -- execution ------------------------------------------------------------------
+
+    def make_mount_pool(self) -> MountPool:
+        """A fresh per-query mount pool over this executor's mount service.
+
+        :class:`~repro.core.multistage.MultiStageExecutor` reuses this so
+        every stage of a multi-stage run shares one pool configuration.
+        """
+        return MountPool(
+            self.mounts._extract,
+            max_workers=self.mount_workers,
+            max_inflight=self.mount_inflight,
+        )
 
     def execute(self, sql: str) -> TwoStageResult:
         timings = StageTimings()
@@ -246,11 +295,27 @@ class TwoStageExecutor:
         breakpoint_info.rewrite = report
         timings.runtime_opt_seconds = time.perf_counter() - opt_started
 
-        # Stage 2: mounts happen here, inside the plan.
-        if self.strategy == PER_FILE:
-            stage2 = self._execute_per_file(rewritten, ctx)
-        else:
-            stage2 = self.db.execute_plan(rewritten, ctx)
+        # Stage 2: mounts happen here, inside the plan. Both strategies
+        # dispatch their mount branches through a MountPool — serial when
+        # mount_workers == 1, fanned out to a thread pool otherwise.
+        pool = self.make_mount_pool()
+        self.mounts.pool = pool
+        try:
+            pool.prefetch(
+                [
+                    (node.table_name, node.uri)
+                    for node in rewritten.walk()
+                    if isinstance(node, Mount)
+                ]
+            )
+            if self.strategy == PER_FILE:
+                stage2 = self._execute_per_file(rewritten, ctx)
+            else:
+                stage2 = self.db.execute_plan(rewritten, ctx)
+        finally:
+            self.mounts.pool = None
+            pool.close()
+            timings.record_mounts(self.mount_workers, pool.timings)
         timings.stage2_seconds = stage2.elapsed_cpu
         io_parts.append(stage2.io)
 

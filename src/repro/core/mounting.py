@@ -14,8 +14,9 @@ ingestion cache retains it.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..db.buffer import BufferManager
 from ..db.errors import IngestError
@@ -31,6 +32,9 @@ from .cache import (
     Interval,
     WHOLE_FILE,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool uses batches)
+    from .mountpool import MountPool
 
 OnMountCallback = Callable[[str, ColumnBatch], None]
 
@@ -98,6 +102,15 @@ class MountService:
     files: a file's first read in a connection pays the disk model, repeats
     are free — modeling the OS page cache that makes the paper's "hot" ALi
     runs cheap even though they re-mount every query.
+
+    The service is *reentrant*: :meth:`_extract` may run concurrently on the
+    workers of a :class:`~repro.core.mountpool.MountPool` (buffer-manager and
+    counter updates are guarded by an internal lock; the ingestion cache
+    locks itself). When ``pool`` is attached — the two-stage executor does so
+    for the duration of stage 2 — :meth:`mount_file` consumes pre-extracted
+    batches from it instead of extracting inline; everything stateful
+    (cache stores, callbacks, delivery) still happens on the calling thread,
+    in plan order.
     """
 
     bindings: BindingSet
@@ -105,7 +118,9 @@ class MountService:
     buffers: Optional[BufferManager] = None
     time_column: str = "sample_time"
     stats: MountStats = field(default_factory=MountStats)
+    pool: Optional["MountPool"] = field(default=None, repr=False)
     _callbacks: list[OnMountCallback] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def add_mount_callback(self, callback: OnMountCallback) -> None:
         """Register a side-effect of mounting (e.g. derived metadata, §5)."""
@@ -120,9 +135,13 @@ class MountService:
         alias: str,
         predicate: Optional[Expr],
     ) -> ColumnBatch:
-        batch = self._extract(uri, table_name)
-        self.stats.mounts += 1
-        self.stats.tuples_mounted += batch.num_rows
+        if self.pool is not None:
+            batch = self.pool.take(uri, table_name)
+        else:
+            batch, _ = self._extract(uri, table_name)
+        with self._lock:
+            self.stats.mounts += 1
+            self.stats.tuples_mounted += batch.num_rows
 
         for callback in self._callbacks:
             callback(uri, batch)
@@ -152,14 +171,19 @@ class MountService:
         if cached is None:
             # The plan expected a hit (rule (1) consulted the cache at
             # run-time optimization) but the entry is gone — fall back.
-            self.stats.fallback_mounts += 1
+            with self._lock:
+                self.stats.fallback_mounts += 1
             return self.mount_file(uri, table_name, alias, predicate)
-        self.stats.cache_scans += 1
+        with self._lock:
+            self.stats.cache_scans += 1
         return self._deliver(cached, alias, predicate)
 
     # -- internals ---------------------------------------------------------------
 
-    def _extract(self, uri: str, table_name: str) -> ColumnBatch:
+    def _extract(self, uri: str, table_name: str) -> tuple[ColumnBatch, float]:
+        """Extract one file into a batch; thread-safe (mount-pool workers
+        call this concurrently). Returns the batch plus the simulated disk
+        seconds the buffer manager charged for reading the file."""
         binding = self.bindings.for_table(table_name)
         if binding is None:
             raise IngestError(
@@ -169,11 +193,13 @@ class MountService:
         assert binding.registry is not None
         extractor = binding.registry.for_path(path)
         nbytes = path.stat().st_size
-        if self.buffers is not None:
-            self.buffers.touch(f"repo:{uri}", nbytes)
-        self.stats.bytes_read += nbytes
+        io_seconds = 0.0
+        with self._lock:
+            if self.buffers is not None:
+                io_seconds = self.buffers.touch(f"repo:{uri}", nbytes)
+            self.stats.bytes_read += nbytes
         mounted = extractor.mount(path, uri)
-        return mounted_file_batch(mounted)
+        return mounted_file_batch(mounted), io_seconds
 
     def _deliver(
         self, batch: ColumnBatch, alias: str, predicate: Optional[Expr]

@@ -1,0 +1,380 @@
+"""Parallel stage-2 mounting — a worker pool for the mount access path.
+
+Rule (1) turns each actual-data ``scan(a)`` into a union over the files of
+interest, one ``mount(f)`` per uncached file. Those mounts are independent
+of one another (extract + Steim decode + transform touch nothing shared but
+the buffer manager and the ingestion cache), which makes the second stage
+embarrassingly parallel — OLA-RAW and DiNoDB reach interactive in-situ
+speeds exactly this way. :class:`MountPool` fans the files of interest out
+to a thread pool while the plan consumes results strictly in branch order,
+so answers stay byte-identical to serial execution.
+
+Division of labour
+------------------
+Only the *extraction* (file read, decode, transform to a
+:class:`~repro.db.table.ColumnBatch`) runs on workers. Everything stateful —
+cache stores, mount callbacks (derived metadata), statistics, predicate
+delivery — stays on the consuming thread, in plan order. This keeps the
+``PER_FILE`` merge deterministic and leaves single-threaded components
+single-threaded.
+
+Guarantees
+----------
+* **Deterministic order** — the consumer (:meth:`take`) drains results in
+  the exact order the union branches execute; parallelism never reorders
+  rows.
+* **Bounded in-flight batches (backpressure)** — at most ``max_inflight``
+  extracted-but-unconsumed batches exist at any moment; workers block until
+  the consumer drains, so mounting a 5,000-file repository never
+  materializes 5,000 batches at once.
+* **Single-flight** — duplicate tasks for one ``(table, uri)`` (self-joins,
+  two aliases over one repository) extract the file once.
+* **Work conservation** — if the consumer reaches a branch whose task has
+  not started yet (workers are behind), it steals the task and extracts
+  inline rather than idling; a starved pool degrades to serial, never to a
+  deadlock.
+* **Serial fallback** — ``max_workers=1`` runs every extraction inline on
+  the consumer thread: no threads, no queues, today's exact behaviour (plus
+  timing capture).
+* **Error semantics** — the first worker failure (e.g.
+  :class:`~repro.db.errors.IngestError`) cancels all outstanding mounts and
+  re-raises the original exception on the consuming thread, annotated with
+  the offending file URI (``exc.mount_uri``), so diagnostics degrade to
+  exactly the serial ones.
+
+Timing model
+------------
+Each task records the worker that ran it, its real extraction seconds, and
+the simulated disk seconds the buffer manager charged for the file (see
+``db/buffer.py`` — reported experiment times are wall CPU + simulated I/O).
+:class:`MountPoolTimings` exposes the serialized total and the critical
+path (the busiest worker's chain): with independent disks/workers the mount
+phase's modeled wall time is the critical path, which is what
+``benchmarks/bench_parallel_mount.py`` reports as the parallel speedup.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..db.table import ColumnBatch
+
+# extract(uri, table_name) -> (batch, simulated_io_seconds)
+ExtractFn = Callable[[str, str], tuple[ColumnBatch, float]]
+
+MountKey = tuple[str, str]  # (table_name, uri)
+
+_POLL_SECONDS = 0.05  # backpressure wake-up interval for cancellation checks
+
+
+@dataclass(frozen=True)
+class MountTaskTiming:
+    """One file's extraction, attributed to the worker that ran it."""
+
+    uri: str
+    table_name: str
+    worker: int  # dense worker index; the consumer thread is a worker too
+    extract_seconds: float  # real wall time spent extracting/decoding
+    io_seconds: float  # simulated disk seconds charged by the buffer manager
+
+    @property
+    def seconds(self) -> float:
+        return self.extract_seconds + self.io_seconds
+
+
+@dataclass
+class MountPoolTimings:
+    """Aggregated per-worker mount timing for one pool lifetime."""
+
+    tasks: list[MountTaskTiming] = field(default_factory=list)
+
+    @property
+    def files(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def serial_seconds(self) -> float:
+        """What the mounts would cost end-to-end on one worker."""
+        return sum(t.seconds for t in self.tasks)
+
+    @property
+    def worker_seconds(self) -> dict[int, float]:
+        """worker index → that worker's busy time (its chain of tasks)."""
+        busy: dict[int, float] = {}
+        for t in self.tasks:
+            busy[t.worker] = busy.get(t.worker, 0.0) + t.seconds
+        return busy
+
+    @property
+    def wall_seconds(self) -> float:
+        """The critical path: the busiest worker's chain.
+
+        Under the explicit disk model, concurrent mounts overlap their
+        simulated reads, so the phase's modeled wall time is the longest
+        per-worker chain rather than the serialized sum.
+        """
+        busy = self.worker_seconds
+        return max(busy.values()) if busy else 0.0
+
+    @property
+    def speedup(self) -> float:
+        wall = self.wall_seconds
+        return self.serial_seconds / wall if wall > 0 else 1.0
+
+
+class MountPool:
+    """Fan file extraction out to ``max_workers`` threads, bounded in flight.
+
+    One pool serves one query (or one multi-stage execution); create it
+    after run-time optimization, :meth:`prefetch` the mount branches in plan
+    order, let the plan :meth:`take` them in the same order, and
+    :meth:`close` it when the query finishes (closing cancels whatever the
+    plan never consumed).
+    """
+
+    def __init__(
+        self,
+        extract: ExtractFn,
+        max_workers: int = 1,
+        max_inflight: Optional[int] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self._extract = extract
+        self.max_workers = max_workers
+        self.max_inflight = max_inflight or 2 * max_workers
+        self.timings = MountPoolTimings()
+        self._lock = threading.Lock()
+        self._slots = threading.Semaphore(self.max_inflight)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._futures: dict[MountKey, Future] = {}
+        self._queue: deque[MountKey] = deque()
+        self._live_workers = 0
+        self._pending_takes: dict[MountKey, int] = {}
+        self._results: dict[MountKey, ColumnBatch] = {}
+        self._holds_slot: set[MountKey] = set()
+        self._worker_ids: dict[int, int] = {}
+        self._cancelled = False
+        self._closed = False
+        self.first_error: Optional[BaseException] = None
+        self.failed_uri: Optional[str] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "MountPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Cancel outstanding mounts and release the worker threads."""
+        self.cancel_outstanding()
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def cancel_outstanding(self) -> None:
+        """Cancel every prefetched mount the plan has not consumed yet.
+
+        Queued tasks are cancelled outright; running tasks observe the flag
+        at their next backpressure wait. Blocked workers are woken so the
+        pool always drains promptly.
+        """
+        self._cancelled = True
+        with self._lock:
+            futures = list(self._futures.values())
+        for future in futures:
+            future.cancel()
+        # Wake workers blocked on backpressure so they can observe the flag.
+        self._slots.release(self.max_workers)
+
+    # -- producing side ------------------------------------------------------
+
+    def prefetch(self, tasks: Sequence[MountKey | tuple[str, str]]) -> None:
+        """Begin extracting ``(table_name, uri)`` tasks, in plan order.
+
+        Duplicate keys are single-flighted: the file is extracted once and
+        served to every consumer that takes it. With ``max_workers=1`` this
+        only records the expected takes — extraction happens lazily inline.
+        """
+        keys = [(table_name, uri) for table_name, uri in tasks]
+        with self._lock:
+            for key in keys:
+                self._pending_takes[key] = self._pending_takes.get(key, 0) + 1
+        if self.max_workers == 1 or len(set(keys)) < 2:
+            return  # serial fallback: extract inline at take() time
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="mountpool",
+            )
+        with self._lock:
+            fresh = [key for key in dict.fromkeys(keys) if key not in self._futures]
+            for key in fresh:
+                self._futures[key] = Future()
+                self._queue.append(key)
+            spawn = min(self.max_workers - self._live_workers, len(self._queue))
+            self._live_workers += spawn
+        for _ in range(spawn):
+            self._executor.submit(self._worker_loop)
+
+    def _worker_loop(self) -> None:
+        """Drain the task queue: claim a backpressure slot *first*, then the
+        next unclaimed task.
+
+        The order matters — it is the pool's deadlock-freedom invariant. A
+        claimed task always holds a slot already, so it runs to completion
+        without ever blocking on the pool again; the consumer can therefore
+        never end up waiting on a worker that is itself waiting (for a slot
+        only the consumer could free). A worker blocked on backpressure has
+        claimed nothing, so the consumer steals its would-be task inline.
+        """
+        try:
+            while not self._cancelled:
+                try:
+                    self._acquire_slot()
+                except CancelledError:
+                    break
+                key: Optional[MountKey] = None
+                future: Optional[Future] = None
+                with self._lock:
+                    while self._queue:
+                        candidate = self._queue.popleft()
+                        entry = self._futures.get(candidate)
+                        # Skip tasks the consumer stole or cancellation took.
+                        if entry is not None and entry.set_running_or_notify_cancel():
+                            key, future = candidate, entry
+                            break
+                if key is None or future is None:
+                    self._slots.release()
+                    break  # queue drained
+                table_name, uri = key
+                try:
+                    batch = self._timed_extract(uri, table_name)
+                except BaseException as exc:  # noqa: BLE001 - forwarded to taker
+                    self._slots.release()
+                    self._record_failure(uri, exc)
+                    future.set_exception(exc)
+                    break
+                with self._lock:
+                    self._holds_slot.add(key)
+                future.set_result(batch)
+        finally:
+            with self._lock:
+                self._live_workers -= 1
+
+    def _acquire_slot(self) -> None:
+        """Backpressure: hold a slot per in-flight (running or unconsumed)
+        batch. Polls so cancellation can interrupt a blocked worker."""
+        while not self._slots.acquire(timeout=_POLL_SECONDS):
+            if self._cancelled:
+                raise CancelledError("mount pool cancelled")
+        if self._cancelled:
+            self._slots.release()
+            raise CancelledError("mount pool cancelled")
+
+    def _timed_extract(self, uri: str, table_name: str) -> ColumnBatch:
+        started = time.perf_counter()
+        batch, io_seconds = self._extract(uri, table_name)
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            worker = self._worker_ids.setdefault(
+                threading.get_ident(), len(self._worker_ids)
+            )
+            self.timings.tasks.append(
+                MountTaskTiming(
+                    uri=uri,
+                    table_name=table_name,
+                    worker=worker,
+                    extract_seconds=elapsed,
+                    io_seconds=io_seconds,
+                )
+            )
+        return batch
+
+    def _record_failure(self, uri: str, exc: BaseException) -> None:
+        with self._lock:
+            if self.first_error is None:
+                self.first_error = exc
+                self.failed_uri = uri
+                if not hasattr(exc, "mount_uri"):
+                    exc.mount_uri = uri  # type: ignore[attr-defined]
+        self.cancel_outstanding()
+
+    # -- consuming side ------------------------------------------------------
+
+    def take(self, uri: str, table_name: str) -> ColumnBatch:
+        """The extracted batch for one mount branch, in plan order.
+
+        Blocks until the worker finishes; steals not-yet-started tasks and
+        runs them inline; extracts inline anything never prefetched (e.g. a
+        cache-scan fallback). Raises the pool's first error once any worker
+        has failed.
+        """
+        if self.first_error is not None:
+            raise self.first_error
+        key: MountKey = (table_name, uri)
+        with self._lock:
+            cached = self._results.get(key)
+            future = self._futures.get(key)
+        if cached is not None:
+            return self._consume(key, cached)
+        if future is None:
+            # Never prefetched (serial fallback, or a cache-scan miss that
+            # fell back to mounting): extract on the consuming thread.
+            return self._consume(key, self._extract_inline(uri, table_name))
+        if not future.done() and future.cancel():
+            # Work conservation: the task is still queued (workers busy or
+            # backpressure-starved) — run it here instead of waiting.
+            with self._lock:
+                self._futures.pop(key, None)
+            return self._consume(key, self._extract_inline(uri, table_name))
+        try:
+            batch = future.result()
+        except CancelledError:
+            if self.first_error is not None:
+                raise self.first_error from None
+            raise
+        except BaseException:
+            if self.first_error is not None:
+                raise self.first_error from None
+            raise
+        return self._consume(key, batch)
+
+    def _extract_inline(self, uri: str, table_name: str) -> ColumnBatch:
+        """Consumer-thread extraction, with the same error annotation and
+        cancellation the worker path gets (``exc.mount_uri``, pool poisoned)."""
+        try:
+            return self._timed_extract(uri, table_name)
+        except BaseException as exc:
+            self._record_failure(uri, exc)
+            raise
+
+    def _consume(self, key: MountKey, batch: ColumnBatch) -> ColumnBatch:
+        """Bookkeeping for one served batch: keep it around while further
+        takes of the same key are expected (single-flight), release the
+        backpressure slot once nobody else will read it."""
+        slot_free = False
+        with self._lock:
+            remaining = self._pending_takes.get(key, 1) - 1
+            if remaining > 0:
+                self._pending_takes[key] = remaining
+                self._results[key] = batch
+            else:
+                self._pending_takes.pop(key, None)
+                self._results.pop(key, None)
+                self._futures.pop(key, None)
+                slot_free = key in self._holds_slot
+                self._holds_slot.discard(key)
+        if slot_free:
+            self._slots.release()
+        return batch

@@ -129,29 +129,48 @@ class MultiStageExecutor:
             files[i: i + self.batch_files]
             for i in range(0, len(files), self.batch_files)
         ]
-        for batch_index, batch in enumerate(batches):
-            for uri in batch:
-                child = apply_ali_rewrite(
-                    aggregate.child,
-                    {info.alias: [uri]},
-                    self.executor.cache,
-                    time_column=self.executor.mounts.time_column,
-                )
-                partial_plan = merger.partial_aggregate_node(child)
-                partial = db.execute_plan(partial_plan, ctx)
-                merger.merge(partial.rows(), partial.names)
-                processed += 1
-            snapshot = BatchSnapshot(
-                batch_index=batch_index,
-                files_processed=processed,
-                total_files=len(files),
-                running_rows=merger.snapshot(),
-                elapsed_seconds=time.perf_counter() - started,
+        # Every ingestion stage shares one mount pool: uncached files are
+        # prefetched up front (bounded in flight, so early stopping leaves
+        # at most max_inflight wasted extractions to cancel) and each
+        # stage's per-file plans consume them in file order.
+        table_name = info.table_name
+        cache = self.executor.cache
+        pool = self.executor.make_mount_pool()
+        self.executor.mounts.pool = pool
+        try:
+            pool.prefetch(
+                [
+                    (table_name, uri)
+                    for uri in files
+                    if not cache.contains(uri)
+                ]
             )
-            snapshots.append(snapshot)
-            if self._should_stop(snapshot, batch_index):
-                stopped = processed < len(files)
-                break
+            for batch_index, batch in enumerate(batches):
+                for uri in batch:
+                    child = apply_ali_rewrite(
+                        aggregate.child,
+                        {info.alias: [uri]},
+                        cache,
+                        time_column=self.executor.mounts.time_column,
+                    )
+                    partial_plan = merger.partial_aggregate_node(child)
+                    partial = db.execute_plan(partial_plan, ctx)
+                    merger.merge(partial.rows(), partial.names)
+                    processed += 1
+                snapshot = BatchSnapshot(
+                    batch_index=batch_index,
+                    files_processed=processed,
+                    total_files=len(files),
+                    running_rows=merger.snapshot(),
+                    elapsed_seconds=time.perf_counter() - started,
+                )
+                snapshots.append(snapshot)
+                if self._should_stop(snapshot, batch_index):
+                    stopped = processed < len(files)
+                    break
+        finally:
+            self.executor.mounts.pool = None
+            pool.close()
 
         final_batch = batch_from_rows(aggregate.output, merger.finalized_rows())
         ctx.results[_TAG] = final_batch

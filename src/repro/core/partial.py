@@ -82,6 +82,21 @@ def expand_partial_specs(
     return partials, plan
 
 
+def _merge_extremum(func: str, current: Any, value: Any) -> Any:
+    """Fold one MIN/MAX partial into the running extremum.
+
+    A file whose rows were all filtered away contributes the engine's
+    empty-input marker (NaN for float MIN/MAX) — the identity of the merge,
+    not a data value. Python's ``min``/``max`` would instead propagate a NaN
+    that arrives first, so NaN partials must be skipped explicitly.
+    """
+    if value != value:  # NaN: empty partial
+        return current
+    if current != current:
+        return value
+    return min(current, value) if func == "min" else max(current, value)
+
+
 class PartialMerger:
     """Accumulates per-file partial aggregate rows and finalizes them."""
 
@@ -112,10 +127,8 @@ class PartialMerger:
             for i, (spec, value) in enumerate(zip(self.partial_specs, values)):
                 if spec.func in ("sum", "count"):
                     state[i] = state[i] + value
-                elif spec.func == "min":
-                    state[i] = min(state[i], value)
-                else:  # max
-                    state[i] = max(state[i], value)
+                else:  # min / max
+                    state[i] = _merge_extremum(spec.func, state[i], value)
         self.files_merged += 1
 
     def finalized_rows(self) -> list[tuple]:

@@ -38,11 +38,26 @@ class ExplorationSession:
     up-front) or a :class:`TwoStageExecutor` (the ALi world). The session API
     is identical — the paper's point that the querying front-end does not
     change.
+
+    ``mount_workers`` (the CLI's ``--mount-workers``) applies only to a
+    two-stage engine: it sets the stage-2 mount parallelism for every query
+    the session runs. ``None`` leaves the engine's own setting untouched.
     """
 
     engine: Union[Database, TwoStageExecutor]
     setup_seconds: float = 0.0  # ingestion time before the session began
     history: list[SessionEntry] = field(default_factory=list)
+    mount_workers: Union[int, None] = None
+
+    def __post_init__(self) -> None:
+        if self.mount_workers is not None:
+            if not isinstance(self.engine, TwoStageExecutor):
+                raise ValueError(
+                    "mount_workers applies only to a TwoStageExecutor engine"
+                )
+            if self.mount_workers < 1:
+                raise ValueError("mount_workers must be >= 1")
+            self.engine.mount_workers = self.mount_workers
 
     def run(self, sql: str, note: str = "") -> QueryResult:
         started = time.perf_counter()

@@ -1,5 +1,7 @@
 """Tests for the ingestion cache: policies, granularities, eviction."""
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
@@ -145,6 +147,50 @@ class TestLru:
         cache = IngestionCache(CachePolicy.LRU, capacity_bytes=1)
         cache.store("a", batch())
         assert cache.contains("a")
+
+
+class TestConcurrency:
+    """Regression: mount-pool workers store into one shared cache while the
+    consumer looks up and invalidates. Before the cache grew its lock, the
+    LRU OrderedDict could corrupt mid-eviction (RuntimeError/KeyError) and
+    current_bytes could drift from the entries actually held."""
+
+    def test_threaded_store_lookup_invalidate_hammer(self):
+        one = batch().nbytes()
+        cache = IngestionCache(CachePolicy.LRU, capacity_bytes=int(one * 3.5))
+        uris = [f"f{i}" for i in range(8)]
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def hammer(worker):
+            try:
+                barrier.wait(timeout=10)
+                for i in range(300):
+                    uri = uris[(worker + i) % len(uris)]
+                    cache.store(uri, batch())
+                    got = cache.lookup(uri)
+                    assert got is None or got.num_rows == 10
+                    cache.contains(uris[i % len(uris)])
+                    if i % 17 == 0:
+                        cache.invalidate(uri)
+                    if i % 61 == 0:
+                        cache.cached_uris()
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors
+        # Post-hammer invariants: byte accounting matches the survivors.
+        assert cache.stats.current_bytes == len(cache) * one
+        assert cache.stats.current_bytes <= int(one * 3.5)
+        cache.clear()
+        assert cache.stats.current_bytes == 0
 
 
 class TestCovers:

@@ -116,8 +116,13 @@ def test_two_stage_equals_eager(sql, data, ei_db, ali_db, tiny_repo):
         ])
     )
     strategy = data.draw(st.sampled_from(["bulk", PER_FILE]))
+    mount_workers = data.draw(st.sampled_from([1, 4]))
     executor = TwoStageExecutor(
-        ali_db, RepositoryBinding(tiny_repo), cache=cache, strategy=strategy
+        ali_db,
+        RepositoryBinding(tiny_repo),
+        cache=cache,
+        strategy=strategy,
+        mount_workers=mount_workers,
     )
     expected = ei_db.execute(sql).rows()
     got = executor.execute(sql).rows
@@ -129,14 +134,15 @@ def test_two_stage_equals_eager(sql, data, ei_db, ali_db, tiny_repo):
     max_examples=15,
     suppress_health_check=[HealthCheck.function_scoped_fixture],
 )
-@given(sql=seismic_queries())
-def test_repeated_execution_stable_under_caching(sql, ali_db, tiny_repo):
+@given(sql=seismic_queries(), data=st.data())
+def test_repeated_execution_stable_under_caching(sql, data, ali_db, tiny_repo):
     """Re-running any query with a warm cache returns identical answers
     (cache transparency)."""
     executor = TwoStageExecutor(
         ali_db,
         RepositoryBinding(tiny_repo),
         cache=IngestionCache(CachePolicy.UNBOUNDED),
+        mount_workers=data.draw(st.sampled_from([1, 4])),
     )
     first = executor.execute(sql).rows
     second = executor.execute(sql).rows
@@ -148,11 +154,17 @@ def test_repeated_execution_stable_under_caching(sql, ali_db, tiny_repo):
     max_examples=15,
     suppress_health_check=[HealthCheck.function_scoped_fixture],
 )
-@given(sql=seismic_queries())
-def test_no_dangling_state_after_queries(sql, ali_db, tiny_repo):
+@given(sql=seismic_queries(), data=st.data())
+def test_no_dangling_state_after_queries(sql, data, ali_db, tiny_repo):
     """Mount transparency: with the paper's discard policy, executing any
-    query leaves the database exactly as it was (D empty, no cache)."""
-    executor = TwoStageExecutor(ali_db, RepositoryBinding(tiny_repo))
+    query leaves the database exactly as it was (D empty, no cache) — with
+    or without a mount pool fanning stage 2 out to workers."""
+    executor = TwoStageExecutor(
+        ali_db,
+        RepositoryBinding(tiny_repo),
+        mount_workers=data.draw(st.sampled_from([1, 4])),
+    )
     executor.execute(sql)
     assert ali_db.catalog.table("D").num_rows == 0
     assert len(executor.cache) == 0
+    assert executor.mounts.pool is None  # the pool never outlives stage 2

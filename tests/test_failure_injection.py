@@ -83,6 +83,79 @@ class TestCorruptFiles:
         assert result.rows[0][0] == len(repo.uris())
 
 
+class TestParallelMountFailures:
+    """Worker failures must match serial diagnostics: the first error
+    cancels outstanding mounts and surfaces with the offending file URI."""
+
+    PAR_SPEC = RepositorySpec(
+        stations=("ISK", "ANK"),
+        channels=("BHE", "BHN"),
+        days=2,
+        sample_rate=0.02,
+        samples_per_record=500,
+    )
+
+    ALL_SQL = "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri"
+
+    @pytest.fixture()
+    def par_repo(self, tmp_path):
+        generate_repository(tmp_path, self.PAR_SPEC)
+        return FileRepository(tmp_path)
+
+    def _executor(self, repo, workers=4):
+        db = Database()
+        lazy_ingest_metadata(db, repo)
+        return TwoStageExecutor(
+            db, RepositoryBinding(repo), mount_workers=workers
+        )
+
+    def test_deleted_file_mid_query_cancels_and_names_uri(self, par_repo):
+        executor = self._executor(par_repo)
+        total_files = len(par_repo.uris())
+        victim = par_repo.uris()[3]
+        par_repo.path_of(victim).unlink()
+        with pytest.raises(IngestError) as excinfo:
+            executor.execute(self.ALL_SQL)
+        assert excinfo.value.mount_uri == victim
+        # The failed query left no state behind; the engine still works.
+        assert executor.mounts.pool is None
+        assert (
+            executor.execute("SELECT COUNT(*) FROM F").rows[0][0]
+            == total_files
+        )
+
+    def test_corrupt_payload_raises_same_error_as_serial(self, par_repo):
+        victim = par_repo.uris()[2]
+        path = par_repo.path_of(victim)
+        raw = bytearray(path.read_bytes())
+        raw[100] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SteimError) as serial_exc:
+            self._executor(par_repo, workers=1).execute(self.ALL_SQL)
+        with pytest.raises(SteimError) as parallel_exc:
+            self._executor(par_repo, workers=4).execute(self.ALL_SQL)
+        assert type(parallel_exc.value) is type(serial_exc.value)
+        assert parallel_exc.value.mount_uri == victim
+        assert serial_exc.value.mount_uri == victim
+
+    def test_failure_in_per_file_strategy(self, par_repo):
+        from repro.core import PER_FILE
+
+        db = Database()
+        lazy_ingest_metadata(db, par_repo)
+        executor = TwoStageExecutor(
+            db,
+            RepositoryBinding(par_repo),
+            mount_workers=4,
+            strategy=PER_FILE,
+        )
+        victim = par_repo.uris()[1]
+        par_repo.path_of(victim).unlink()
+        with pytest.raises(IngestError) as excinfo:
+            executor.execute(self.ALL_SQL)
+        assert excinfo.value.mount_uri == victim
+
+
 class TestFreshness:
     def test_discard_policy_sees_updated_file(self, repo, tmp_path):
         """The paper: "the chosen approach inherently ensures up-to-date
