@@ -84,6 +84,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stage-2 mount parallelism: fan files of interest out to N "
         "workers (1 = serial, the paper's behavior; repo mode only)",
     )
+    query.add_argument(
+        "--on-mount-error", choices=("fail", "skip"), default="fail",
+        help="degradation policy for unreadable repository files: fail = "
+        "abort on the first corrupt/truncated/stale file (default); skip = "
+        "quarantine it, answer from the intact rest and report what was "
+        "skipped (repo mode only)",
+    )
     query.add_argument("--limit", type=int, default=25,
                        help="rows to display")
 
@@ -172,7 +179,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     db = Database()
     lazy_ingest_metadata(db, repo)
     executor = TwoStageExecutor(
-        db, RepositoryBinding(repo), mount_workers=args.mount_workers
+        db,
+        RepositoryBinding(repo),
+        mount_workers=args.mount_workers,
+        on_mount_error=args.on_mount_error,
     )
     if args.explain:
         print(executor.explain(args.sql))
@@ -198,6 +208,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"{timings.mount_wall_seconds * 1000:.1f} ms, "
             f"{timings.mount_speedup:.1f}x)"
         )
+    if timings.mount_failures:
+        print(f"warning: {timings.mount_failures.describe()}", file=sys.stderr)
     return 0
 
 

@@ -36,7 +36,15 @@ from .informativeness import (
     ProceedAlways,
     estimate_informativeness,
 )
-from .mounting import MountService, MountStats, interval_from_predicate
+from .mounting import (
+    FAIL_FAST,
+    SKIP_AND_REPORT,
+    MountFailure,
+    MountFailureReport,
+    MountService,
+    MountStats,
+    interval_from_predicate,
+)
 from .mountpool import MountPool, MountPoolTimings, MountTaskTiming
 from .multistage import BatchSnapshot, MultiStageExecutor, MultiStageResult
 from .partial import PartialMerger, is_decomposable
@@ -72,6 +80,10 @@ __all__ = [
     "CallbackPolicy",
     "MountService",
     "MountStats",
+    "MountFailure",
+    "MountFailureReport",
+    "FAIL_FAST",
+    "SKIP_AND_REPORT",
     "MountPool",
     "MountPoolTimings",
     "MountTaskTiming",

@@ -40,6 +40,13 @@ Interval = tuple[int, int]  # closed [lo, hi] in µs; (-INF, INF) = whole file
 
 WHOLE_FILE: Interval = (-INF, INF)
 
+# What the ingestion cache records about the file behind an entry at store
+# time: (st_mtime_ns, st_size). A lookup presenting a different signature
+# proves the file changed on disk, so the entry is invalidated — closing the
+# staleness gap behind the paper's "inherently up-to-date" claim for every
+# retention policy, not just DISCARD.
+FileSignature = tuple[int, int]
+
 
 class CachePolicy(enum.Enum):
     DISCARD = "discard"  # the paper's default: never retain
@@ -62,6 +69,7 @@ class CacheStats:
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
+    invalidations: int = 0  # entries dropped by invalidate()/clear()/staleness
     current_bytes: int = 0
 
 
@@ -69,6 +77,7 @@ class CacheStats:
 class _Entry:
     interval: Interval
     batch: ColumnBatch
+    signature: Optional[FileSignature] = None
     nbytes: int = field(init=False)
 
     def __post_init__(self) -> None:
@@ -117,17 +126,35 @@ class IngestionCache:
             return self._matching_key(uri, request) is not None
 
     def lookup(
-        self, uri: str, request: Interval = WHOLE_FILE
+        self,
+        uri: str,
+        request: Interval = WHOLE_FILE,
+        signature: Optional[FileSignature] = None,
     ) -> Optional[ColumnBatch]:
-        """The cached batch covering ``request``, or None (counts a miss)."""
+        """The cached batch covering ``request``, or None (counts a miss).
+
+        When the caller supplies the file's current ``signature`` and it
+        disagrees with the signature recorded at store time, every entry of
+        that file is stale: all are invalidated and the lookup misses, so
+        the caller re-mounts the rewritten file instead of serving old rows.
+        """
         with self._lock:
             key = self._matching_key(uri, request)
             if key is None:
                 self.stats.misses += 1
                 return None
+            entry = self._entries[key]
+            if (
+                signature is not None
+                and entry.signature is not None
+                and entry.signature != signature
+            ):
+                self._invalidate_locked(uri)
+                self.stats.misses += 1
+                return None
             self.stats.hits += 1
             self._entries.move_to_end(key)
-            return self._entries[key].batch
+            return entry.batch
 
     def cached_uris(self) -> set[str]:
         with self._lock:
@@ -138,7 +165,11 @@ class IngestionCache:
     # -- store ---------------------------------------------------------------
 
     def store(
-        self, uri: str, batch: ColumnBatch, interval: Interval = WHOLE_FILE
+        self,
+        uri: str,
+        batch: ColumnBatch,
+        interval: Interval = WHOLE_FILE,
+        signature: Optional[FileSignature] = None,
     ) -> None:
         """Retain one mount's data, subject to policy and granularity.
 
@@ -146,6 +177,7 @@ class IngestionCache:
         whole-file); TUPLE granularity expects a batch already narrowed to
         ``interval`` and must never contain rows filtered by non-time
         predicates, or later broader requests would see missing tuples.
+        ``signature`` records the file's on-disk state for staleness checks.
         """
         if self.policy is CachePolicy.DISCARD:
             return
@@ -154,7 +186,7 @@ class IngestionCache:
             interval = WHOLE_FILE
         else:
             key = (uri, interval)
-        entry = _Entry(interval, batch)  # size the batch outside the lock
+        entry = _Entry(interval, batch, signature)  # sized outside the lock
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -175,20 +207,31 @@ class IngestionCache:
 
     # -- maintenance -----------------------------------------------------------
 
-    def invalidate(self, uri: str) -> None:
-        """Drop all entries of one file (e.g. the file changed on disk)."""
+    def invalidate(self, uri: str) -> int:
+        """Drop all entries of one file (e.g. the file changed on disk).
+
+        Returns the number of entries dropped; each is counted in
+        ``stats.invalidations`` so hit/miss/eviction/invalidation accounting
+        stays exact under the staleness path.
+        """
         with self._lock:
-            doomed = [
-                key
-                for key in self._entries
-                if key == uri or (isinstance(key, tuple) and key[0] == uri)
-            ]
-            for key in doomed:
-                entry = self._entries.pop(key)
-                self.stats.current_bytes -= entry.nbytes
+            return self._invalidate_locked(uri)
+
+    def _invalidate_locked(self, uri: str) -> int:
+        doomed = [
+            key
+            for key in self._entries
+            if key == uri or (isinstance(key, tuple) and key[0] == uri)
+        ]
+        for key in doomed:
+            entry = self._entries.pop(key)
+            self.stats.current_bytes -= entry.nbytes
+            self.stats.invalidations += 1
+        return len(doomed)
 
     def clear(self) -> None:
         with self._lock:
+            self.stats.invalidations += len(self._entries)
             self._entries.clear()
             self.stats.current_bytes = 0
 

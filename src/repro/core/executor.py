@@ -46,7 +46,14 @@ from .informativeness import (
     ProceedAlways,
     estimate_informativeness,
 )
-from .mounting import MountService, interval_from_predicate
+from .mounting import (
+    FAIL_FAST,
+    ON_ERROR_POLICIES,
+    SKIP_AND_REPORT,
+    MountFailureReport,
+    MountService,
+    interval_from_predicate,
+)
 from .mountpool import MountPool, MountPoolTimings
 from .partial import PartialMerger, is_decomposable
 from .rules import RewriteReport, apply_ali_rewrite
@@ -66,6 +73,10 @@ class StageTimings:
     by how many workers, the serialized cost (sum over files of real extract
     time + simulated disk time) and the critical path (the busiest worker's
     chain). ``mount_speedup`` is the observable effect of ``mount_workers``.
+
+    ``mount_failures`` is the degraded-answer disclosure: under the
+    ``SKIP_AND_REPORT`` policy it lists every file the query was answered
+    *without* (empty under ``FAIL_FAST``, which raises instead).
     """
 
     compile_seconds: float = 0.0
@@ -77,6 +88,9 @@ class StageTimings:
     mount_serial_seconds: float = 0.0
     mount_wall_seconds: float = 0.0
     mount_worker_seconds: dict[int, float] = field(default_factory=dict)
+    mount_failures: MountFailureReport = field(
+        default_factory=MountFailureReport
+    )
 
     @property
     def total_seconds(self) -> float:
@@ -150,6 +164,7 @@ class TwoStageExecutor:
         estimate: bool = True,
         mount_workers: int = 1,
         mount_inflight: Optional[int] = None,
+        on_mount_error: str = FAIL_FAST,
     ) -> None:
         if isinstance(bindings, RepositoryBinding):
             bindings = BindingSet.single(bindings)
@@ -157,11 +172,18 @@ class TwoStageExecutor:
             raise ValueError(f"unknown strategy {strategy!r}")
         if mount_workers < 1:
             raise ValueError("mount_workers must be >= 1")
+        if on_mount_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_mount_error must be one of {ON_ERROR_POLICIES}, "
+                f"got {on_mount_error!r}"
+            )
         self.db = db
         self.bindings = bindings
         # `cache or ...` would discard an *empty* cache (len() == 0 is falsy).
         self.cache = cache if cache is not None else IngestionCache()
-        self.mounts = MountService(bindings, self.cache, buffers=db.buffers)
+        self.mounts = MountService(
+            bindings, self.cache, buffers=db.buffers, on_error=on_mount_error
+        )
         self.destiny = destiny or ProceedAlways()
         self.cost_model = cost_model or CostModel()
         self.strategy = strategy
@@ -171,6 +193,20 @@ class TwoStageExecutor:
         self.mount_inflight = mount_inflight
         if derived is not None:
             self.mounts.add_mount_callback(derived.on_mount)
+
+    @property
+    def on_mount_error(self) -> str:
+        """The active degradation policy (``"fail"`` or ``"skip"``)."""
+        return self.mounts.on_error
+
+    @on_mount_error.setter
+    def on_mount_error(self, policy: str) -> None:
+        if policy not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_mount_error must be one of {ON_ERROR_POLICIES}, "
+                f"got {policy!r}"
+            )
+        self.mounts.on_error = policy
 
     # -- compile-time ------------------------------------------------------------
 
@@ -202,10 +238,12 @@ class TwoStageExecutor:
             self.mounts._extract,
             max_workers=self.mount_workers,
             max_inflight=self.mount_inflight,
+            fail_fast=self.mounts.on_error != SKIP_AND_REPORT,
         )
 
     def execute(self, sql: str) -> TwoStageResult:
         timings = StageTimings()
+        self.mounts.reset_failures()  # quarantine is per query
         started = time.perf_counter()
         decomposition = self.prepare(sql)
         timings.compile_seconds = time.perf_counter() - started
@@ -316,6 +354,7 @@ class TwoStageExecutor:
             self.mounts.pool = None
             pool.close()
             timings.record_mounts(self.mount_workers, pool.timings)
+            timings.mount_failures = self.mounts.failure_report
         timings.stage2_seconds = stage2.elapsed_cpu
         io_parts.append(stage2.io)
 

@@ -10,24 +10,52 @@ protocol: the physical ``PMount``/``PCacheScan`` operators call into it. The
 mounted batch never enters the catalog — it flows through the plan as a
 dangling partial table and is garbage once the query completes, unless the
 ingestion cache retains it.
+
+Failure handling
+----------------
+Repositories hold files the database does not control, so extraction can
+fail mid-query: truncated volumes, corrupt Steim frames, files rewritten or
+deleted between stage 1 and stage 2. Every such failure surfaces as a typed
+:class:`~repro.db.errors.FileIngestError` naming the URI and byte offset,
+and the service applies a per-query *degradation policy*:
+
+* ``FAIL_FAST`` (default) — the first failure aborts the query, exactly the
+  historical behaviour.
+* ``SKIP_AND_REPORT`` — the offending file is quarantined, its union branch
+  contributes zero rows (equivalent to rule (1) dropping the branch), and
+  the query completes over the intact files with a
+  :class:`MountFailureReport` listing every skipped file.
+
+Transient failures (I/O errors, files caught mid-rewrite) are retried with
+backoff up to ``max_retries`` times before the policy applies. Staleness is
+detected twice: the ingestion cache compares the ``(mtime_ns, size)``
+signature recorded at store time on every cache-scan (a changed file is
+invalidated and re-mounted), and :meth:`_extract` re-stats the file after
+extraction so a file rewritten *during* the read raises
+:class:`~repro.db.errors.StaleFileError` rather than yielding torn rows.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..db.buffer import BufferManager
-from ..db.errors import IngestError
+from ..db.errors import FileIngestError, IngestError, StaleFileError
 from ..db.expr import ColumnRef, Comparison, Expr, Literal, conjuncts
 from ..db.table import ColumnBatch
 from ..db.types import DataType
-from ..ingest._batches import mounted_file_batch
+from ..ingest._batches import mounted_file_batch, mounted_files_batch
+from ..ingest.formats import FormatExtractor
 from ..ingest.schema import BindingSet
 from .cache import (
     INF,
     CacheGranularity,
+    CachePolicy,
+    FileSignature,
     IngestionCache,
     Interval,
     WHOLE_FILE,
@@ -37,6 +65,55 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool uses batches)
     from .mountpool import MountPool
 
 OnMountCallback = Callable[[str, ColumnBatch], None]
+
+# Per-query degradation policies for mount failures.
+FAIL_FAST = "fail"  # first failure aborts the query (default)
+SKIP_AND_REPORT = "skip"  # quarantine the file, answer from the intact rest
+
+ON_ERROR_POLICIES = (FAIL_FAST, SKIP_AND_REPORT)
+
+
+@dataclass(frozen=True)
+class MountFailure:
+    """One quarantined file: what failed, where, and how hard we tried."""
+
+    uri: str
+    error: str  # exception class name, e.g. "TruncatedFileError"
+    message: str
+    offset: Optional[int] = None  # byte offset of the failure, if known
+    retries: int = 0  # transparent retries spent before quarantining
+
+    def describe(self) -> str:
+        where = f" at byte {self.offset}" if self.offset is not None else ""
+        tried = f" after {self.retries} retries" if self.retries else ""
+        return f"{self.uri}: {self.error}{where}{tried}: {self.message}"
+
+
+@dataclass
+class MountFailureReport:
+    """Every file a SKIP_AND_REPORT query answered *without*.
+
+    Attached to :class:`~repro.core.executor.StageTimings` so callers can
+    tell a complete answer from a degraded one.
+    """
+
+    failures: list[MountFailure] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.failures)
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+    def uris(self) -> list[str]:
+        return [f.uri for f in self.failures]
+
+    def describe(self) -> str:
+        if not self.failures:
+            return "no mount failures"
+        lines = [f"{len(self.failures)} file(s) skipped:"]
+        lines.extend(f"  {f.describe()}" for f in self.failures)
+        return "\n".join(lines)
 
 
 def interval_from_predicate(
@@ -85,6 +162,11 @@ def _interval_mask_batch(
     return batch.filter(mask)
 
 
+def _file_signature(path: Path) -> FileSignature:
+    stat = path.stat()
+    return (stat.st_mtime_ns, stat.st_size)
+
+
 @dataclass
 class MountStats:
     mounts: int = 0
@@ -92,6 +174,9 @@ class MountStats:
     tuples_mounted: int = 0
     bytes_read: int = 0
     fallback_mounts: int = 0  # cache-scan that had to re-mount
+    stale_remounts: int = 0  # cache entries invalidated by a changed file
+    retries: int = 0  # transient-failure extraction retries
+    skipped_mounts: int = 0  # branches answered empty under SKIP_AND_REPORT
 
 
 @dataclass
@@ -104,13 +189,19 @@ class MountService:
     runs cheap even though they re-mount every query.
 
     The service is *reentrant*: :meth:`_extract` may run concurrently on the
-    workers of a :class:`~repro.core.mountpool.MountPool` (buffer-manager and
-    counter updates are guarded by an internal lock; the ingestion cache
-    locks itself). When ``pool`` is attached — the two-stage executor does so
-    for the duration of stage 2 — :meth:`mount_file` consumes pre-extracted
-    batches from it instead of extracting inline; everything stateful
-    (cache stores, callbacks, delivery) still happens on the calling thread,
-    in plan order.
+    workers of a :class:`~repro.core.mountpool.MountPool` (the buffer manager
+    and the ingestion cache lock themselves; the service's own lock guards
+    only its counters). When ``pool`` is attached — the two-stage executor
+    does so for the duration of stage 2 — :meth:`mount_file` consumes
+    pre-extracted batches from it instead of extracting inline; everything
+    stateful (cache stores, callbacks, delivery) still happens on the calling
+    thread, in plan order.
+
+    ``on_error`` selects the degradation policy (module constants
+    :data:`FAIL_FAST` / :data:`SKIP_AND_REPORT`); transient failures retry
+    ``max_retries`` times with linear backoff first. ``validate_staleness``
+    enables the ``(mtime_ns, size)`` signature checks on cache scans and the
+    post-extraction re-stat.
     """
 
     bindings: BindingSet
@@ -119,12 +210,62 @@ class MountService:
     time_column: str = "sample_time"
     stats: MountStats = field(default_factory=MountStats)
     pool: Optional["MountPool"] = field(default=None, repr=False)
+    on_error: str = FAIL_FAST
+    max_retries: int = 2
+    retry_backoff_seconds: float = 0.01
+    validate_staleness: bool = True
+    failure_report: MountFailureReport = field(
+        default_factory=MountFailureReport
+    )
+    _quarantined: dict[str, MountFailure] = field(
+        default_factory=dict, repr=False
+    )
     _callbacks: list[OnMountCallback] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, "
+                f"got {self.on_error!r}"
+            )
 
     def add_mount_callback(self, callback: OnMountCallback) -> None:
         """Register a side-effect of mounting (e.g. derived metadata, §5)."""
         self._callbacks.append(callback)
+
+    # -- failure bookkeeping ---------------------------------------------------
+
+    def reset_failures(self) -> None:
+        """Start a fresh query: clear the quarantine and the failure report.
+
+        Quarantine is *per query* — a file that failed once is skipped for
+        the rest of that query (self-joins do not re-extract it) but gets a
+        fresh chance next query (it may have been repaired in between).
+        """
+        with self._lock:
+            self._quarantined.clear()
+            self.failure_report = MountFailureReport()
+
+    def _quarantine(self, uri: str, exc: BaseException) -> None:
+        failure = MountFailure(
+            uri=uri,
+            error=type(exc).__name__,
+            message=getattr(exc, "message", None) or str(exc),
+            offset=getattr(exc, "offset", None),
+            retries=getattr(exc, "ingest_retries", 0),
+        )
+        with self._lock:
+            if uri not in self._quarantined:
+                self._quarantined[uri] = failure
+                self.failure_report.failures.append(failure)
+            self.stats.skipped_mounts += 1
+
+    def _empty_branch(
+        self, alias: str, predicate: Optional[Expr]
+    ) -> ColumnBatch:
+        """A zero-row D-layout batch: what a dropped union branch yields."""
+        return self._deliver(mounted_files_batch([]), alias, predicate)
 
     # -- Mounter protocol -----------------------------------------------------
 
@@ -135,10 +276,23 @@ class MountService:
         alias: str,
         predicate: Optional[Expr],
     ) -> ColumnBatch:
-        if self.pool is not None:
-            batch = self.pool.take(uri, table_name)
-        else:
-            batch, _ = self._extract(uri, table_name)
+        if self.on_error == SKIP_AND_REPORT:
+            with self._lock:
+                quarantined = uri in self._quarantined
+            if quarantined:
+                with self._lock:
+                    self.stats.skipped_mounts += 1
+                return self._empty_branch(alias, predicate)
+        try:
+            if self.pool is not None:
+                batch = self.pool.take(uri, table_name)
+            else:
+                batch, _ = self._extract(uri, table_name)
+        except IngestError as exc:
+            if self.on_error != SKIP_AND_REPORT:
+                raise
+            self._quarantine(uri, exc)
+            return self._empty_branch(alias, predicate)
         with self._lock:
             self.stats.mounts += 1
             self.stats.tuples_mounted += batch.num_rows
@@ -149,12 +303,13 @@ class MountService:
         interval = interval_from_predicate(
             predicate, f"{alias}.{self.time_column}"
         )
+        signature = self._store_signature(uri, table_name)
         if self.cache.granularity is CacheGranularity.TUPLE:
             narrowed = _interval_mask_batch(batch, self.time_column, interval)
-            self.cache.store(uri, narrowed, interval)
+            self.cache.store(uri, narrowed, interval, signature=signature)
             batch = narrowed
         else:
-            self.cache.store(uri, batch)
+            self.cache.store(uri, batch, signature=signature)
         return self._deliver(batch, alias, predicate)
 
     def cache_scan(
@@ -167,12 +322,25 @@ class MountService:
         interval = interval_from_predicate(
             predicate, f"{alias}.{self.time_column}"
         )
-        cached = self.cache.lookup(uri, interval)
+        signature = (
+            self._current_signature(uri, table_name)
+            if self.validate_staleness
+            else None
+        )
+        # cache_scan runs on the consuming thread only, so reading the
+        # invalidation counter around the lookup is race-free.
+        invalidations_before = self.cache.stats.invalidations
+        cached = self.cache.lookup(uri, interval, signature=signature)
         if cached is None:
             # The plan expected a hit (rule (1) consulted the cache at
-            # run-time optimization) but the entry is gone — fall back.
+            # run-time optimization) but the entry is gone — either evicted,
+            # or just invalidated because the file changed on disk. Fall
+            # back to a fresh mount either way.
+            stale = self.cache.stats.invalidations > invalidations_before
             with self._lock:
                 self.stats.fallback_mounts += 1
+                if stale:
+                    self.stats.stale_remounts += 1
             return self.mount_file(uri, table_name, alias, predicate)
         with self._lock:
             self.stats.cache_scans += 1
@@ -180,10 +348,7 @@ class MountService:
 
     # -- internals ---------------------------------------------------------------
 
-    def _extract(self, uri: str, table_name: str) -> tuple[ColumnBatch, float]:
-        """Extract one file into a batch; thread-safe (mount-pool workers
-        call this concurrently). Returns the batch plus the simulated disk
-        seconds the buffer manager charged for reading the file."""
+    def _resolve(self, uri: str, table_name: str) -> tuple[Path, FormatExtractor]:
         binding = self.bindings.for_table(table_name)
         if binding is None:
             raise IngestError(
@@ -191,14 +356,89 @@ class MountService:
             )
         path = binding.repository.path_of(uri)
         assert binding.registry is not None
-        extractor = binding.registry.for_path(path)
-        nbytes = path.stat().st_size
+        return path, binding.registry.for_path(path)
+
+    def _current_signature(
+        self, uri: str, table_name: str
+    ) -> Optional[FileSignature]:
+        """The file's on-disk ``(mtime_ns, size)``, or None when it cannot
+        be stated — the mount fallback will surface the real error."""
+        try:
+            path, _ = self._resolve(uri, table_name)
+            return _file_signature(path)
+        except (OSError, IngestError):
+            return None
+
+    def _store_signature(
+        self, uri: str, table_name: str
+    ) -> Optional[FileSignature]:
+        """Signature to record alongside a cache store (None when the cache
+        discards anyway or staleness validation is off — skip the stat)."""
+        if not self.validate_staleness:
+            return None
+        if self.cache.policy is CachePolicy.DISCARD:
+            return None
+        return self._current_signature(uri, table_name)
+
+    def _extract(self, uri: str, table_name: str) -> tuple[ColumnBatch, float]:
+        """Extract one file into a batch; thread-safe (mount-pool workers
+        call this concurrently). Returns the batch plus the simulated disk
+        seconds the buffer manager charged for reading the file.
+
+        Transient failures (I/O errors, files caught mid-rewrite) retry up
+        to ``max_retries`` times with linear backoff; the final exception
+        carries the retry count as ``exc.ingest_retries``.
+        """
+        path, extractor = self._resolve(uri, table_name)
+        attempt = 0
+        while True:
+            try:
+                return self._extract_once(uri, path, extractor)
+            except FileIngestError as exc:
+                exc.ingest_retries = attempt  # type: ignore[attr-defined]
+                if not exc.transient or attempt >= self.max_retries:
+                    raise
+                attempt += 1
+                with self._lock:
+                    self.stats.retries += 1
+                if self.retry_backoff_seconds > 0:
+                    time.sleep(self.retry_backoff_seconds * attempt)
+
+    def _extract_once(
+        self, uri: str, path: Path, extractor: FormatExtractor
+    ) -> tuple[ColumnBatch, float]:
+        try:
+            before = _file_signature(path)
+        except FileNotFoundError as exc:
+            raise FileIngestError(
+                f"file disappeared before extraction: {path}",
+                uri=uri,
+                cause=exc,
+            ) from exc
+        nbytes = before[1]
         io_seconds = 0.0
+        # The buffer manager locks itself; only the service's own counter
+        # needs this lock — never hold it across the (slow) disk model.
+        if self.buffers is not None:
+            io_seconds = self.buffers.touch(f"repo:{uri}", nbytes)
         with self._lock:
-            if self.buffers is not None:
-                io_seconds = self.buffers.touch(f"repo:{uri}", nbytes)
             self.stats.bytes_read += nbytes
         mounted = extractor.mount(path, uri)
+        if self.validate_staleness:
+            try:
+                after = _file_signature(path)
+            except FileNotFoundError as exc:
+                raise StaleFileError(
+                    "file deleted during extraction",
+                    uri=uri,
+                    cause=exc,
+                ) from exc
+            if after != before:
+                raise StaleFileError(
+                    "file changed on disk during extraction "
+                    f"(mtime/size {before} -> {after})",
+                    uri=uri,
+                )
         return mounted_file_batch(mounted), io_seconds
 
     def _deliver(

@@ -36,11 +36,15 @@ Guarantees
 * **Serial fallback** — ``max_workers=1`` runs every extraction inline on
   the consumer thread: no threads, no queues, today's exact behaviour (plus
   timing capture).
-* **Error semantics** — the first worker failure (e.g.
-  :class:`~repro.db.errors.IngestError`) cancels all outstanding mounts and
-  re-raises the original exception on the consuming thread, annotated with
-  the offending file URI (``exc.mount_uri``), so diagnostics degrade to
-  exactly the serial ones.
+* **Error semantics** — with ``fail_fast=True`` (default) the first worker
+  failure (e.g. :class:`~repro.db.errors.IngestError`) cancels all
+  outstanding mounts and re-raises the original exception on the consuming
+  thread, annotated with the offending file URI (``exc.mount_uri``), so
+  diagnostics degrade to exactly the serial ones. With ``fail_fast=False``
+  (the executor's SKIP_AND_REPORT policy) a failure poisons only its own
+  key: the worker keeps draining the queue, the other branches complete,
+  and :meth:`take` re-raises the per-file exception for the mount service
+  to quarantine.
 
 Timing model
 ------------
@@ -142,6 +146,7 @@ class MountPool:
         extract: ExtractFn,
         max_workers: int = 1,
         max_inflight: Optional[int] = None,
+        fail_fast: bool = True,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -150,6 +155,7 @@ class MountPool:
         self._extract = extract
         self.max_workers = max_workers
         self.max_inflight = max_inflight or 2 * max_workers
+        self.fail_fast = fail_fast
         self.timings = MountPoolTimings()
         self._lock = threading.Lock()
         self._slots = threading.Semaphore(self.max_inflight)
@@ -264,7 +270,9 @@ class MountPool:
                     self._slots.release()
                     self._record_failure(uri, exc)
                     future.set_exception(exc)
-                    break
+                    if self.fail_fast:
+                        break
+                    continue  # skip mode: this key is poisoned, keep draining
                 with self._lock:
                     self._holds_slot.add(key)
                 future.set_result(batch)
@@ -303,11 +311,19 @@ class MountPool:
 
     def _record_failure(self, uri: str, exc: BaseException) -> None:
         with self._lock:
+            # FileIngestError pre-sets mount_uri only when it knows its uri;
+            # getattr-None (not hasattr) so a None placeholder still gets
+            # the pool's annotation.
+            if getattr(exc, "mount_uri", None) is None:
+                try:
+                    exc.mount_uri = uri  # type: ignore[attr-defined]
+                except AttributeError:  # pragma: no cover - slotted exception
+                    pass
+            if not self.fail_fast:
+                return  # skip mode: the failure poisons only its own future
             if self.first_error is None:
                 self.first_error = exc
                 self.failed_uri = uri
-                if not hasattr(exc, "mount_uri"):
-                    exc.mount_uri = uri  # type: ignore[attr-defined]
         self.cancel_outstanding()
 
     # -- consuming side ------------------------------------------------------

@@ -25,6 +25,7 @@ from ..db.plan.logical import Aggregate, ResultScan, UnionAll
 from .decompose import _replace_subtree
 from .executor import TwoStageExecutor
 from .executor_util import batch_from_rows
+from .mounting import MountFailureReport
 from .partial import PartialMerger, is_decomposable
 from .rules import apply_ali_rewrite
 
@@ -55,6 +56,9 @@ class MultiStageResult:
     total_files: int
     snapshots: list[BatchSnapshot] = field(default_factory=list)
     converged: bool = True
+    mount_failures: MountFailureReport = field(
+        default_factory=MountFailureReport
+    )
 
     @property
     def approximate(self) -> bool:
@@ -91,6 +95,7 @@ class MultiStageExecutor:
 
     def execute(self, sql: str) -> MultiStageResult:
         db = self.executor.db
+        self.executor.mounts.reset_failures()  # quarantine is per execution
         decomposition = self.executor.prepare(sql)
         ctx = db.make_context(mounter=self.executor.mounts)
 
@@ -187,6 +192,7 @@ class MultiStageExecutor:
             total_files=len(files),
             snapshots=snapshots,
             converged=not stopped,
+            mount_failures=self.executor.mounts.failure_report,
         )
 
     def _should_stop(self, snapshot: BatchSnapshot, batch_index: int) -> bool:

@@ -13,13 +13,17 @@ from .database import Database, QueryResult
 from .errors import (
     BindError,
     CatalogError,
+    CorruptFileError,
     DatabaseError,
     ExecutionError,
+    FileIngestError,
     IngestError,
     PlanError,
     QueryAbortedError,
     SqlSyntaxError,
+    StaleFileError,
     StorageError,
+    TruncatedFileError,
     TypeError_,
 )
 from .index import HashIndex
@@ -45,6 +49,10 @@ __all__ = [
     "CatalogError",
     "StorageError",
     "IngestError",
+    "FileIngestError",
+    "CorruptFileError",
+    "TruncatedFileError",
+    "StaleFileError",
     "QueryAbortedError",
     "HashIndex",
     "ColumnDef",

@@ -14,6 +14,7 @@ components are kept separate in :class:`IoStats` so results stay auditable.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -58,6 +59,10 @@ class BufferManager:
         self.disk = disk or DiskModel()
         self._resident: set[str] = set()
         self.stats = IoStats()
+        # touch() is a read-modify-write of residency + stats and is called
+        # concurrently by mount-pool workers; it locks itself so callers
+        # (e.g. MountService._extract) need not serialize around it.
+        self._lock = threading.Lock()
 
     # -- residency control (cold/hot switch) ---------------------------------
 
@@ -82,15 +87,16 @@ class BufferManager:
 
     def touch(self, name: str, nbytes: int) -> float:
         """Record an access; returns the simulated seconds charged (0 if hot)."""
-        self.stats.touched.add(name)
-        if name in self._resident:
-            return 0.0
-        self._resident.add(name)
-        seconds = self.disk.read_seconds(nbytes)
-        self.stats.objects_read += 1
-        self.stats.bytes_read += int(nbytes)
-        self.stats.simulated_seconds += seconds
-        return seconds
+        with self._lock:
+            self.stats.touched.add(name)
+            if name in self._resident:
+                return 0.0
+            self._resident.add(name)
+            seconds = self.disk.read_seconds(nbytes)
+            self.stats.objects_read += 1
+            self.stats.bytes_read += int(nbytes)
+            self.stats.simulated_seconds += seconds
+            return seconds
 
 
 def table_object_name(table: str, column: str) -> str:

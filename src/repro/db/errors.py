@@ -53,6 +53,74 @@ class IngestError(DatabaseError):
     """A repository file could not be extracted, transformed, or mounted."""
 
 
+class FileIngestError(IngestError):
+    """An ingest failure attributable to one repository file.
+
+    The taxonomy the resilient-mounting path relies on: every error carries
+    the offending ``uri``, the byte ``offset`` where extraction failed (when
+    known), and the low-level ``cause``. ``transient`` marks failures worth
+    retrying before the file is quarantined (e.g. a concurrent rewrite).
+    ``mount_uri`` mirrors ``uri`` — it is the attribute the mount pool
+    annotates onto foreign exceptions, so callers can read one name for
+    both taxonomy and wrapped errors.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        uri: str | None = None,
+        offset: int | None = None,
+        cause: BaseException | None = None,
+        transient: bool = False,
+    ) -> None:
+        detail = f"{uri}: {message}" if uri else message
+        if offset is not None:
+            detail = f"{detail} (byte offset {offset})"
+        super().__init__(detail)
+        self.message = message
+        self.uri = uri
+        self.offset = offset
+        self.cause = cause
+        self.transient = transient
+        if uri is not None:
+            self.mount_uri = uri
+
+    def with_uri(self, uri: str) -> "FileIngestError":
+        """A copy of this error annotated with the offending file's URI.
+
+        Extraction layers that only see raw bytes raise without context; the
+        format extractor (which knows the URI) re-raises through this.
+        """
+        if self.uri is not None:
+            return self
+        return type(self)(
+            self.message,
+            uri=uri,
+            offset=self.offset,
+            cause=self.cause if self.cause is not None else self,
+            transient=self.transient,
+        )
+
+
+class CorruptFileError(FileIngestError):
+    """The file's bytes do not form a valid payload (bad magic, malformed
+    lengths, failed integrity checks, unparseable content)."""
+
+
+class TruncatedFileError(FileIngestError):
+    """The file ends before the content its headers promise."""
+
+
+class StaleFileError(FileIngestError):
+    """The file changed on disk while it was being read or after it was
+    cached. Transient by default: re-reading observes the new version."""
+
+    def __init__(self, message: str, **kwargs: object) -> None:
+        kwargs.setdefault("transient", True)
+        super().__init__(message, **kwargs)  # type: ignore[arg-type]
+
+
 class QueryAbortedError(DatabaseError):
     """The explorer (or a destiny policy) aborted the query at a breakpoint."""
 

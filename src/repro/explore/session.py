@@ -15,6 +15,7 @@ from typing import Any, Union
 from ..db.database import Database, QueryResult
 from ..db.types import format_timestamp, parse_timestamp
 from ..core.executor import TwoStageExecutor, TwoStageResult
+from ..core.mounting import ON_ERROR_POLICIES
 from .workload import make_query1, make_query2
 
 
@@ -27,6 +28,7 @@ class SessionEntry:
     seconds: float  # wall CPU + simulated I/O
     files_mounted: int = 0
     cache_scans: int = 0
+    mount_failures: int = 0  # files skipped under on_mount_error="skip"
     note: str = ""
 
 
@@ -42,12 +44,17 @@ class ExplorationSession:
     ``mount_workers`` (the CLI's ``--mount-workers``) applies only to a
     two-stage engine: it sets the stage-2 mount parallelism for every query
     the session runs. ``None`` leaves the engine's own setting untouched.
+    Likewise ``on_mount_error`` (the CLI's ``--on-mount-error``): ``"fail"``
+    aborts a query on the first unreadable file, ``"skip"`` quarantines it
+    and completes the query over the intact rest, recording the skip count
+    per history entry.
     """
 
     engine: Union[Database, TwoStageExecutor]
     setup_seconds: float = 0.0  # ingestion time before the session began
     history: list[SessionEntry] = field(default_factory=list)
     mount_workers: Union[int, None] = None
+    on_mount_error: Union[str, None] = None
 
     def __post_init__(self) -> None:
         if self.mount_workers is not None:
@@ -58,6 +65,17 @@ class ExplorationSession:
             if self.mount_workers < 1:
                 raise ValueError("mount_workers must be >= 1")
             self.engine.mount_workers = self.mount_workers
+        if self.on_mount_error is not None:
+            if not isinstance(self.engine, TwoStageExecutor):
+                raise ValueError(
+                    "on_mount_error applies only to a TwoStageExecutor engine"
+                )
+            if self.on_mount_error not in ON_ERROR_POLICIES:
+                raise ValueError(
+                    f"on_mount_error must be one of {ON_ERROR_POLICIES}, "
+                    f"got {self.on_mount_error!r}"
+                )
+            self.engine.on_mount_error = self.on_mount_error
 
     def run(self, sql: str, note: str = "") -> QueryResult:
         started = time.perf_counter()
@@ -67,10 +85,12 @@ class ExplorationSession:
             result = outcome.result
             mounted = result.stats.files_mounted
             cache_scans = result.stats.cache_scans
+            failures = len(outcome.timings.mount_failures)
         else:
             result = outcome
             mounted = 0
             cache_scans = 0
+            failures = 0
         self.history.append(
             SessionEntry(
                 sql=sql,
@@ -78,6 +98,7 @@ class ExplorationSession:
                 seconds=elapsed + result.io.simulated_seconds,
                 files_mounted=mounted,
                 cache_scans=cache_scans,
+                mount_failures=failures,
                 note=note,
             )
         )
@@ -135,9 +156,14 @@ class ExplorationSession:
         ]
         for i, entry in enumerate(self.history):
             note = f" — {entry.note}" if entry.note else ""
+            skipped = (
+                f", {entry.mount_failures} files skipped"
+                if entry.mount_failures
+                else ""
+            )
             lines.append(
                 f"  [{i}] {entry.seconds:.3f}s, {entry.rows} rows, "
                 f"{entry.files_mounted} mounts, {entry.cache_scans} "
-                f"cache-scans{note}"
+                f"cache-scans{skipped}{note}"
             )
         return "\n".join(lines)

@@ -21,8 +21,15 @@ from pathlib import Path
 
 import numpy as np
 
-from ..db.errors import IngestError
-from .formats import ExtractedMetadata, FileMetaRow, MountedFile, RecordMetaRow
+from ..db.errors import CorruptFileError, TruncatedFileError
+from ..mseed.record import last_sample_offset, sample_time_offsets
+from .formats import (
+    ExtractedMetadata,
+    FileMetaRow,
+    MountedFile,
+    RecordMetaRow,
+    extraction_guard,
+)
 
 SUFFIX = ".tscsv"
 
@@ -41,8 +48,7 @@ def write_csv_timeseries(
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     values = np.asarray(values, dtype=np.float64)
-    step = 1_000_000 / sample_rate
-    times = start_time + np.round(np.arange(len(values)) * step).astype(np.int64)
+    times = start_time + sample_time_offsets(len(values), sample_rate)
     with open(path, "w") as handle:
         handle.write(
             f"# network={network} station={station} location={location} "
@@ -67,7 +73,10 @@ def _parse_header(path: Path) -> dict[str, str]:
     required = {"station", "channel", "sample_rate", "start_time", "nsamples"}
     missing = required - fields.keys()
     if missing:
-        raise IngestError(f"{path}: missing header fields {sorted(missing)}")
+        # No uri here — extraction_guard annotates it at the extractor level.
+        raise CorruptFileError(
+            f"missing header fields {sorted(missing)}", offset=0
+        )
     return fields
 
 
@@ -78,14 +87,12 @@ class CsvExtractor:
     suffix = SUFFIX
 
     def extract_metadata(self, path: Path, uri: str) -> ExtractedMetadata:
-        fields = _parse_header(path)
-        start_time = int(fields["start_time"])
-        nsamples = int(fields["nsamples"])
-        sample_rate = float(fields["sample_rate"])
-        if nsamples > 1 and sample_rate > 0:
-            end_time = start_time + round((nsamples - 1) * 1_000_000 / sample_rate)
-        else:
-            end_time = start_time
+        with extraction_guard(uri, path):
+            fields = _parse_header(path)
+            start_time = int(fields["start_time"])
+            nsamples = int(fields["nsamples"])
+            sample_rate = float(fields["sample_rate"])
+        end_time = start_time + last_sample_offset(nsamples, sample_rate)
         file_row = FileMetaRow(
             uri=uri,
             network=fields.get("network", ""),
@@ -109,24 +116,32 @@ class CsvExtractor:
         return ExtractedMetadata(file_row, [record_row])
 
     def mount(self, path: Path, uri: str) -> MountedFile:
-        fields = _parse_header(path)
-        nsamples = int(fields["nsamples"])
-        body = io.StringIO()
-        with open(path, "r") as handle:
-            for line in handle:
-                if line.startswith("#") or line.startswith("t_us"):
-                    continue
-                body.write(line)
-        body.seek(0)
-        if nsamples == 0:
-            empty = np.empty(0, dtype=np.int64)
-            return MountedFile(uri, empty, empty.copy(),
-                               np.empty(0, dtype=np.float64))
-        data = np.loadtxt(body, delimiter=",", dtype=np.float64, ndmin=2)
-        if data.shape[0] != nsamples:
-            raise IngestError(
-                f"{path}: header claims {nsamples} samples, body has "
-                f"{data.shape[0]}"
+        with extraction_guard(uri, path):
+            fields = _parse_header(path)
+            nsamples = int(fields["nsamples"])
+            body = io.StringIO()
+            with open(path, "r") as handle:
+                for line in handle:
+                    if line.startswith("#") or line.startswith("t_us"):
+                        continue
+                    body.write(line)
+            body.seek(0)
+            if nsamples == 0:
+                empty = np.empty(0, dtype=np.int64)
+                return MountedFile(uri, empty, empty.copy(),
+                                   np.empty(0, dtype=np.float64))
+            data = np.loadtxt(body, delimiter=",", dtype=np.float64, ndmin=2)
+        if data.shape[0] < nsamples:
+            raise TruncatedFileError(
+                f"header claims {nsamples} samples, body has "
+                f"{data.shape[0]}",
+                uri=uri,
+            )
+        if data.shape[0] > nsamples:
+            raise CorruptFileError(
+                f"header claims {nsamples} samples, body has "
+                f"{data.shape[0]}",
+                uri=uri,
             )
         return MountedFile(
             uri=uri,

@@ -16,13 +16,48 @@ repository may mix formats.
 
 from __future__ import annotations
 
+import struct
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Protocol, runtime_checkable
+from typing import Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
-from ..db.errors import IngestError
+from ..db.errors import CorruptFileError, FileIngestError, IngestError
+
+
+@contextmanager
+def extraction_guard(uri: str, path: Path | str) -> Iterator[None]:
+    """Normalize one file's extraction failures into the ingest taxonomy.
+
+    Wrap every :meth:`FormatExtractor.extract_metadata` /
+    :meth:`FormatExtractor.mount` body in this. Taxonomy errors pass through
+    (annotated with ``uri`` when the lower layer did not know it); raw
+    parse errors (``ValueError``, ``struct.error``) become
+    :class:`~repro.db.errors.CorruptFileError`; I/O errors become transient
+    :class:`~repro.db.errors.FileIngestError` so the mount service retries
+    them before quarantining the file.
+    """
+    try:
+        yield
+    except FileIngestError as exc:
+        raise exc.with_uri(uri) from exc.cause
+    except IngestError:
+        raise
+    except FileNotFoundError as exc:
+        raise FileIngestError(
+            f"file disappeared during extraction: {path}", uri=uri, cause=exc
+        ) from exc
+    except OSError as exc:
+        raise FileIngestError(
+            f"I/O error reading {path}: {exc}",
+            uri=uri,
+            cause=exc,
+            transient=True,
+        ) from exc
+    except (ValueError, struct.error) as exc:
+        raise CorruptFileError(str(exc), uri=uri, cause=exc) from exc
 
 
 @dataclass(frozen=True)

@@ -7,17 +7,30 @@ from pathlib import Path
 import numpy as np
 
 from ..mseed.volume import iter_records, read_file_metadata
-from .formats import ExtractedMetadata, FileMetaRow, MountedFile, RecordMetaRow
+from .formats import (
+    ExtractedMetadata,
+    FileMetaRow,
+    MountedFile,
+    RecordMetaRow,
+    extraction_guard,
+)
 
 
 class XSeedExtractor:
-    """Extracts metadata and actual data from xSEED volumes."""
+    """Extracts metadata and actual data from xSEED volumes.
+
+    Both paths run under :func:`~repro.ingest.formats.extraction_guard`:
+    a corrupt, truncated, or concurrently-rewritten volume surfaces as a
+    typed :class:`~repro.db.errors.FileIngestError` naming this URI and the
+    failing byte offset, never as a raw parse error.
+    """
 
     format_name = "xseed"
     suffix = ".xseed"
 
     def extract_metadata(self, path: Path, uri: str) -> ExtractedMetadata:
-        meta, headers = read_file_metadata(path)
+        with extraction_guard(uri, path):
+            meta, headers = read_file_metadata(path, uri=uri)
         file_row = FileMetaRow(
             uri=uri,
             network=meta.network,
@@ -47,11 +60,12 @@ class XSeedExtractor:
         record_ids: list[np.ndarray] = []
         sample_times: list[np.ndarray] = []
         sample_values: list[np.ndarray] = []
-        for i, record in enumerate(iter_records(path)):
-            n = record.header.nsamples
-            record_ids.append(np.full(n, i, dtype=np.int64))
-            sample_times.append(record.sample_times())
-            sample_values.append(record.samples.astype(np.float64))
+        with extraction_guard(uri, path):
+            for i, record in enumerate(iter_records(path, uri=uri)):
+                n = record.header.nsamples
+                record_ids.append(np.full(n, i, dtype=np.int64))
+                sample_times.append(record.sample_times())
+                sample_values.append(record.samples.astype(np.float64))
         if not record_ids:
             empty = np.empty(0, dtype=np.int64)
             return MountedFile(uri, empty, empty.copy(),

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..db.errors import CorruptFileError, TruncatedFileError
 from .steim import SteimError, steim_decode, steim_encode
 
 MAGIC = b"XSD1"
@@ -26,6 +27,31 @@ _PAD = 64 - _HEADER_STRUCT.size
 HEADER_SIZE = 64
 
 assert _PAD >= 0, "header layout exceeds 64 bytes"
+
+
+def sample_time_offsets(nsamples: int, sample_rate: float) -> np.ndarray:
+    """µs offsets of each sample from the record's start time.
+
+    The single source of truth for sample timing: both the materialized
+    per-sample times and the header's ``end_time`` derive from it, so
+    header-based time pruning can never disagree with mounted sample times.
+    """
+    step = 1_000_000 / sample_rate
+    return np.round(np.arange(nsamples) * step).astype(np.int64)
+
+
+def last_sample_offset(nsamples: int, sample_rate: float) -> int:
+    """µs offset of the last sample — ``sample_time_offsets(...)[-1]``.
+
+    Computed scalar-wise so header-only scans stay O(1) per record, with
+    the exact float association of :func:`sample_time_offsets`
+    (``(n-1) * step``, never ``(n-1) * 1_000_000 / rate``): the two paths
+    once disagreed by 1 µs at interval boundaries.
+    """
+    if nsamples <= 1 or sample_rate <= 0:
+        return 0
+    step = 1_000_000 / sample_rate
+    return int(round((nsamples - 1) * step))
 
 
 def _fix(text: str, width: int) -> bytes:
@@ -53,10 +79,8 @@ class RecordHeader:
     @property
     def end_time(self) -> int:
         """Time of the last sample (µs). Equals start_time for 1 sample."""
-        if self.nsamples <= 1 or self.sample_rate <= 0:
-            return self.start_time
-        return self.start_time + round(
-            (self.nsamples - 1) * 1_000_000 / self.sample_rate
+        return self.start_time + last_sample_offset(
+            self.nsamples, self.sample_rate
         )
 
     def pack(self) -> bytes:
@@ -75,21 +99,46 @@ class RecordHeader:
         ) + b"\x00" * _PAD
 
     @classmethod
-    def unpack(cls, raw: bytes) -> "RecordHeader":
+    def unpack(
+        cls, raw: bytes, *, uri: str | None = None, offset: int = 0
+    ) -> "RecordHeader":
         if len(raw) < HEADER_SIZE:
-            raise SteimError(f"truncated header: {len(raw)} bytes")
-        (
-            magic, sequence, network, station, location, channel,
-            start_time, sample_rate, nsamples, encoding, payload_len,
-        ) = _HEADER_STRUCT.unpack(raw[: _HEADER_STRUCT.size])
+            raise TruncatedFileError(
+                f"truncated header: {len(raw)} of {HEADER_SIZE} bytes",
+                uri=uri,
+                offset=offset,
+            )
+        try:
+            (
+                magic, sequence, network, station, location, channel,
+                start_time, sample_rate, nsamples, encoding, payload_len,
+            ) = _HEADER_STRUCT.unpack(raw[: _HEADER_STRUCT.size])
+        except struct.error as exc:
+            raise CorruptFileError(
+                f"malformed header: {exc}", uri=uri, offset=offset, cause=exc
+            ) from exc
         if magic != MAGIC:
-            raise SteimError(f"bad magic {magic!r}")
+            raise CorruptFileError(
+                f"bad magic {magic!r}", uri=uri, offset=offset
+            )
+        try:
+            identifiers = [
+                raw_id.decode("ascii").strip()
+                for raw_id in (network, station, location, channel)
+            ]
+        except UnicodeDecodeError as exc:
+            raise CorruptFileError(
+                f"non-ASCII stream identifier: {exc}",
+                uri=uri,
+                offset=offset,
+                cause=exc,
+            ) from exc
         return cls(
             sequence=sequence,
-            network=network.decode("ascii").strip(),
-            station=station.decode("ascii").strip(),
-            location=location.decode("ascii").strip(),
-            channel=channel.decode("ascii").strip(),
+            network=identifiers[0],
+            station=identifiers[1],
+            location=identifiers[2],
+            channel=identifiers[3],
             start_time=start_time,
             sample_rate=sample_rate,
             nsamples=nsamples,
@@ -146,18 +195,37 @@ class XSeedRecord:
         return header.pack() + payload
 
     @classmethod
-    def unpack(cls, raw: bytes) -> "XSeedRecord":
-        header = RecordHeader.unpack(raw)
+    def unpack(
+        cls, raw: bytes, *, uri: str | None = None, offset: int = 0
+    ) -> "XSeedRecord":
+        header = RecordHeader.unpack(raw, uri=uri, offset=offset)
         payload = raw[HEADER_SIZE: HEADER_SIZE + header.payload_len]
         if len(payload) != header.payload_len:
-            raise SteimError("truncated payload")
+            raise TruncatedFileError(
+                f"truncated payload: {len(payload)} of "
+                f"{header.payload_len} bytes",
+                uri=uri,
+                offset=offset + HEADER_SIZE,
+            )
         if header.encoding != ENCODING_STEIM1:
-            raise SteimError(f"unknown encoding {header.encoding}")
-        samples = steim_decode(payload, header.nsamples)
+            raise CorruptFileError(
+                f"unknown encoding {header.encoding}",
+                uri=uri,
+                offset=offset,
+            )
+        try:
+            samples = steim_decode(payload, header.nsamples)
+        except SteimError as exc:
+            raise SteimError(
+                exc.message,
+                uri=uri,
+                offset=offset + HEADER_SIZE,
+                cause=exc,
+            ) from exc
         return cls(header, samples, payload)
 
     def sample_times(self) -> np.ndarray:
         """Per-sample timestamps (µs), materialized the way Ei does."""
-        step = 1_000_000 / self.header.sample_rate
-        offsets = np.round(np.arange(self.header.nsamples) * step).astype(np.int64)
-        return self.header.start_time + offsets
+        return self.header.start_time + sample_time_offsets(
+            self.header.nsamples, self.header.sample_rate
+        )

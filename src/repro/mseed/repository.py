@@ -11,7 +11,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterator
 
-from ..db.errors import IngestError
+from ..db.errors import FileIngestError, IngestError
 
 
 class FileRepository:
@@ -58,7 +58,9 @@ class FileRepository:
         if not path.is_relative_to(root):
             raise IngestError(f"URI {uri!r} escapes the repository root")
         if not path.exists():
-            raise IngestError(f"no file for URI {uri!r} in {self.root}")
+            raise FileIngestError(
+                f"no file for URI {uri!r} in {self.root}", uri=uri
+            )
         return path
 
     def size_of(self, uri: str) -> int:

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..db.errors import CorruptFileError
+
 _WORDS_PER_FRAME = 16
 _SLOTS_PER_FRAME = _WORDS_PER_FRAME - 1  # word 0 is the control word
 _FRAME_BYTES = 4 * _WORDS_PER_FRAME
@@ -43,8 +45,16 @@ _INT32_MIN = -(2**31)
 _INT32_MAX = 2**31 - 1
 
 
-class SteimError(ValueError):
-    """Raised for unencodable input or corrupt payloads."""
+class SteimError(CorruptFileError, ValueError):
+    """Raised for unencodable input or corrupt payloads.
+
+    Subclasses :class:`~repro.db.errors.CorruptFileError` so payload
+    corruption surfaced here is part of the file-ingest taxonomy (the mount
+    pool's ``except IngestError`` fail-fast path catches it), and
+    :class:`ValueError` for backward compatibility. Callers that know the
+    file context re-raise via :meth:`with_uri` / keyword arguments to attach
+    the URI and byte offset.
+    """
 
 
 def _to_signed32(unsigned: np.ndarray) -> np.ndarray:

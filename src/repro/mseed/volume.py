@@ -5,6 +5,11 @@ The key asymmetry the paper exploits is implemented here:
 payload, so metadata extraction costs a tiny fraction of a full parse, while
 :func:`read_records` decodes everything (what eager ingestion and mounting
 do).
+
+Every parse failure raises a :class:`~repro.db.errors.FileIngestError`
+subclass carrying the offending URI (the path, unless the caller passes the
+repository URI) and the byte offset of the record that failed, so a corrupt
+file surfaces with enough context to quarantine it.
 """
 
 from __future__ import annotations
@@ -13,8 +18,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
 
+from ..db.errors import CorruptFileError, TruncatedFileError
 from .record import HEADER_SIZE, RecordHeader, XSeedRecord
-from .steim import SteimError
 
 
 def write_volume(path: str | Path, records: Sequence[XSeedRecord]) -> int:
@@ -30,22 +35,34 @@ def write_volume(path: str | Path, records: Sequence[XSeedRecord]) -> int:
     return total
 
 
-def read_records(path: str | Path) -> list[XSeedRecord]:
+def read_records(path: str | Path, uri: str | None = None) -> list[XSeedRecord]:
     """Fully parse a volume: headers *and* decompressed payloads."""
-    return list(iter_records(path))
+    return list(iter_records(path, uri))
 
 
-def iter_records(path: str | Path) -> Iterator[XSeedRecord]:
+def iter_records(
+    path: str | Path, uri: str | None = None
+) -> Iterator[XSeedRecord]:
+    uri = uri if uri is not None else str(path)
+    offset = 0
     with open(path, "rb") as handle:
         while True:
             header_raw = handle.read(HEADER_SIZE)
             if not header_raw:
                 return
-            header = RecordHeader.unpack(header_raw)
+            header = RecordHeader.unpack(header_raw, uri=uri, offset=offset)
             payload = handle.read(header.payload_len)
             if len(payload) != header.payload_len:
-                raise SteimError(f"truncated record in {path}")
-            yield XSeedRecord.unpack(header_raw + payload)
+                raise TruncatedFileError(
+                    f"record payload truncated: {len(payload)} of "
+                    f"{header.payload_len} bytes",
+                    uri=uri,
+                    offset=offset + HEADER_SIZE,
+                )
+            yield XSeedRecord.unpack(
+                header_raw + payload, uri=uri, offset=offset
+            )
+            offset += HEADER_SIZE + header.payload_len
 
 
 def read_volume(path: str | Path) -> list[XSeedRecord]:
@@ -53,21 +70,38 @@ def read_volume(path: str | Path) -> list[XSeedRecord]:
     return read_records(path)
 
 
-def scan_headers(path: str | Path) -> list[RecordHeader]:
+def scan_headers(
+    path: str | Path, uri: str | None = None
+) -> list[RecordHeader]:
     """Header-only scan: read 64 bytes per record, seek over payloads.
 
     This is what metadata-only (ALi) ingestion uses; the cost is proportional
-    to the number of records, not the number of samples.
+    to the number of records, not the number of samples. Truncation inside a
+    seeked-over payload is still detected (against the file size), so the
+    metadata never promises samples the payload cannot hold.
     """
+    uri = uri if uri is not None else str(path)
+    path = Path(path)
+    size = path.stat().st_size
     headers: list[RecordHeader] = []
+    offset = 0
     with open(path, "rb") as handle:
         while True:
             header_raw = handle.read(HEADER_SIZE)
             if not header_raw:
                 return headers
-            header = RecordHeader.unpack(header_raw)
+            header = RecordHeader.unpack(header_raw, uri=uri, offset=offset)
+            record_end = offset + HEADER_SIZE + header.payload_len
+            if record_end > size:
+                raise TruncatedFileError(
+                    f"record payload truncated: file ends at byte {size}, "
+                    f"record needs {record_end}",
+                    uri=uri,
+                    offset=offset + HEADER_SIZE,
+                )
             headers.append(header)
             handle.seek(header.payload_len, 1)
+            offset = record_end
 
 
 @dataclass(frozen=True)
@@ -85,12 +119,18 @@ class FileMetadata:
     size_bytes: int
 
 
-def read_file_metadata(path: str | Path) -> tuple[FileMetadata, list[RecordHeader]]:
+def read_file_metadata(
+    path: str | Path, uri: str | None = None
+) -> tuple[FileMetadata, list[RecordHeader]]:
     """Header-only extraction of both file-level and record-level metadata."""
     path = Path(path)
-    headers = scan_headers(path)
+    headers = scan_headers(path, uri)
     if not headers:
-        raise SteimError(f"empty volume {path}")
+        raise CorruptFileError(
+            "empty volume",
+            uri=uri if uri is not None else str(path),
+            offset=0,
+        )
     first = headers[0]
     meta = FileMetadata(
         network=first.network,

@@ -68,11 +68,72 @@ class TestUnboundedFileGranular:
         assert not cache.contains("a")
         assert cache.stats.current_bytes == 0
 
+    def test_invalidate_counts(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("a", batch())
+        cache.store("b", batch())
+        assert cache.invalidate("a") == 1
+        assert cache.stats.invalidations == 1
+        assert cache.invalidate("a") == 0  # already gone: nothing counted
+        assert cache.stats.invalidations == 1
+        assert cache.stats.current_bytes == batch().nbytes()
+
     def test_clear(self):
         cache = IngestionCache(CachePolicy.UNBOUNDED)
         cache.store("a", batch())
         cache.clear()
         assert len(cache) == 0
+
+    def test_clear_counts_invalidations(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("a", batch())
+        cache.store("b", batch())
+        cache.clear()
+        assert cache.stats.invalidations == 2
+        cache.clear()  # empty clear counts nothing
+        assert cache.stats.invalidations == 2
+
+
+class TestStaleness:
+    """Entries record the file's (mtime_ns, size) signature at store time;
+    a lookup presenting a different signature invalidates and misses."""
+
+    def test_matching_signature_hits(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("a", batch(), signature=(100, 64))
+        assert cache.lookup("a", signature=(100, 64)) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.invalidations == 0
+
+    def test_changed_signature_invalidates_and_misses(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("a", batch(), signature=(100, 64))
+        assert cache.lookup("a", signature=(200, 64)) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.invalidations == 1
+        assert not cache.contains("a")
+        assert cache.stats.current_bytes == 0
+
+    def test_no_signature_lookup_skips_validation(self):
+        """A caller that opts out (validate_staleness=False) still hits."""
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("a", batch(), signature=(100, 64))
+        assert cache.lookup("a") is not None
+
+    def test_unsigned_entry_never_invalidated(self):
+        """Entries stored without a signature (legacy stores) always serve."""
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("a", batch())
+        assert cache.lookup("a", signature=(1, 2)) is not None
+
+    def test_tuple_granular_invalidates_all_intervals(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED, CacheGranularity.TUPLE)
+        cache.store("a", batch(3), (0, 10), signature=(100, 64))
+        cache.store("a", batch(3), (90, 100), signature=(100, 64))
+        assert cache.lookup("a", (1, 9), signature=(999, 64)) is None
+        assert cache.stats.invalidations == 2
+        assert not cache.contains("a", (91, 99))
+        assert cache.stats.current_bytes == 0
 
 
 class TestTupleGranular:

@@ -12,7 +12,7 @@ import pytest
 
 from repro.core import CachePolicy, IngestionCache, TwoStageExecutor
 from repro.db import Database
-from repro.db.errors import DatabaseError, IngestError
+from repro.db.errors import IngestError, TruncatedFileError
 from repro.ingest import RepositoryBinding, lazy_ingest_metadata
 from repro.mseed import (
     FileRepository,
@@ -52,8 +52,9 @@ class TestCorruptFiles:
         uri = repo.uris()[0]
         path = repo.path_of(uri)
         path.write_bytes(path.read_bytes()[:-32])
-        with pytest.raises((SteimError, DatabaseError)):
+        with pytest.raises(TruncatedFileError) as excinfo:
             executor.execute(COUNT_SQL)
+        assert excinfo.value.uri == uri
 
     def test_flipped_payload_detected(self, repo, executor):
         uri = repo.uris()[0]
@@ -200,20 +201,9 @@ class TestFreshness:
         assert after == 10**9
         assert after != before
 
-    def test_stale_cache_serves_old_data_until_invalidated(self, repo):
-        """The flip side: an unbounded cache serves stale data — unless the
-        entry is invalidated."""
-        db = Database()
-        lazy_ingest_metadata(db, repo)
-        cache = IngestionCache(CachePolicy.UNBOUNDED)
-        executor = TwoStageExecutor(db, RepositoryBinding(repo), cache=cache)
-        sql = (
-            "SELECT MAX(D.sample_value) FROM F JOIN D ON F.uri = D.uri "
-            "WHERE F.station = 'ISK'"
-        )
-        before = executor.execute(sql).rows[0][0]
-
-        uri = repo.uris()[0]
+    @staticmethod
+    def _spike_first_sample(repo, uri):
+        """Rewrite one file with its first sample replaced by a huge spike."""
         from repro.mseed.volume import read_records
 
         records = read_records(repo.path_of(uri))
@@ -230,6 +220,50 @@ class TestFreshness:
             samples=samples,
         )
         write_volume(repo.path_of(uri), records)
+
+    def test_rewritten_file_invalidates_cache_and_remounts(self, repo):
+        """A retained cache entry must not hide an on-disk rewrite: the
+        cache-scan compares the stored (mtime_ns, size) signature and falls
+        back to a fresh mount when the file changed."""
+        db = Database()
+        lazy_ingest_metadata(db, repo)
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        executor = TwoStageExecutor(db, RepositoryBinding(repo), cache=cache)
+        sql = (
+            "SELECT MAX(D.sample_value) FROM F JOIN D ON F.uri = D.uri "
+            "WHERE F.station = 'ISK'"
+        )
+        before = executor.execute(sql).rows[0][0]
+        assert before != 10**9
+
+        uri = repo.uris()[0]
+        self._spike_first_sample(repo, uri)
+
+        fresh = executor.execute(sql).rows[0][0]
+        assert fresh == 10**9  # no stale rows served
+        assert executor.mounts.stats.stale_remounts >= 1
+        assert cache.stats.invalidations >= 1
+
+        # The remount re-populated the cache with the new contents.
+        again = executor.execute(sql).rows[0][0]
+        assert again == 10**9
+
+    def test_stale_cache_serves_old_data_with_validation_off(self, repo):
+        """Disabling staleness validation restores the historical trade-off:
+        the unbounded cache serves stale rows until invalidated by hand."""
+        db = Database()
+        lazy_ingest_metadata(db, repo)
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        executor = TwoStageExecutor(db, RepositoryBinding(repo), cache=cache)
+        executor.mounts.validate_staleness = False
+        sql = (
+            "SELECT MAX(D.sample_value) FROM F JOIN D ON F.uri = D.uri "
+            "WHERE F.station = 'ISK'"
+        )
+        before = executor.execute(sql).rows[0][0]
+
+        uri = repo.uris()[0]
+        self._spike_first_sample(repo, uri)
 
         stale = executor.execute(sql).rows[0][0]
         assert stale == before  # cache hid the update

@@ -1,9 +1,13 @@
 """Tests for the mount service and interval extraction."""
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.core import (
+    FAIL_FAST,
+    SKIP_AND_REPORT,
     CacheGranularity,
     CachePolicy,
     IngestionCache,
@@ -11,12 +15,20 @@ from repro.core import (
     interval_from_predicate,
 )
 from repro.core.cache import INF
-from repro.db.errors import IngestError
+from repro.db.buffer import BufferManager
+from repro.db.errors import (
+    CorruptFileError,
+    FileIngestError,
+    IngestError,
+    StaleFileError,
+    TruncatedFileError,
+)
 from repro.db.expr import BoolOp, ColumnRef, Comparison, Literal
 from repro.db.types import DataType
 from repro.ingest import RepositoryBinding
 from repro.ingest.schema import BindingSet
-from repro.mseed import read_records
+from repro.ingest.xseed_format import XSeedExtractor
+from repro.mseed import FileRepository, generate_repository, read_records
 
 
 def time_ref():
@@ -74,6 +86,14 @@ def service(tiny_repo):
         BindingSet.single(RepositoryBinding(tiny_repo)),
         IngestionCache(CachePolicy.UNBOUNDED),
     )
+
+
+@pytest.fixture()
+def scratch_repo(tmp_path, tiny_spec):
+    """A throwaway copy of the tiny repository for tests that damage files
+    (the session-scoped tiny_repo is read-only by contract)."""
+    generate_repository(tmp_path, tiny_spec)
+    return FileRepository(tmp_path)
 
 
 class TestMountFile:
@@ -204,3 +224,242 @@ class TestTupleGranularMounting:
         assert delivered.num_rows == 0  # value predicate filtered delivery
         cached = service.cache.lookup(uri, (lo, hi))
         assert cached.num_rows == 100  # but the cache kept the full interval
+
+
+class FlakyExtractor:
+    """Delegates to XSeedExtractor after failing ``fail_times`` transiently."""
+
+    format_name = "flaky-xseed"
+    suffix = ".xseed"
+
+    def __init__(self, fail_times=2, transient=True):
+        self.fail_times = fail_times
+        self.transient = transient
+        self.mount_calls = 0
+        self._inner = XSeedExtractor()
+
+    def extract_metadata(self, path, uri):
+        return self._inner.extract_metadata(path, uri)
+
+    def mount(self, path, uri):
+        self.mount_calls += 1
+        if self.mount_calls <= self.fail_times:
+            raise FileIngestError(
+                "injected flake", uri=uri, transient=self.transient
+            )
+        return self._inner.mount(path, uri)
+
+
+def _flaky_service(tiny_repo, extractor, **kwargs):
+    from repro.ingest.formats import FormatRegistry
+
+    registry = FormatRegistry()
+    registry.register(extractor)
+    return MountService(
+        BindingSet.single(RepositoryBinding(tiny_repo, registry=registry)),
+        IngestionCache(CachePolicy.DISCARD),
+        retry_backoff_seconds=0.0,
+        **kwargs,
+    )
+
+
+class TestRetry:
+    def test_transient_failure_retried_to_success(self, tiny_repo):
+        extractor = FlakyExtractor(fail_times=2)
+        service = _flaky_service(tiny_repo, extractor, max_retries=2)
+        uri = tiny_repo.uris()[0]
+        batch = service.mount_file(uri, "D", "d", None)
+        assert batch.num_rows > 0
+        assert extractor.mount_calls == 3
+        assert service.stats.retries == 2
+
+    def test_retries_exhausted_raises_with_count(self, tiny_repo):
+        extractor = FlakyExtractor(fail_times=100)
+        service = _flaky_service(tiny_repo, extractor, max_retries=2)
+        uri = tiny_repo.uris()[0]
+        with pytest.raises(FileIngestError) as excinfo:
+            service.mount_file(uri, "D", "d", None)
+        assert extractor.mount_calls == 3  # initial try + 2 retries
+        assert excinfo.value.ingest_retries == 2
+        assert excinfo.value.uri == uri
+
+    def test_non_transient_failure_not_retried(self, tiny_repo):
+        extractor = FlakyExtractor(fail_times=100, transient=False)
+        service = _flaky_service(tiny_repo, extractor, max_retries=2)
+        with pytest.raises(FileIngestError):
+            service.mount_file(tiny_repo.uris()[0], "D", "d", None)
+        assert extractor.mount_calls == 1
+        assert service.stats.retries == 0
+
+
+class TestSkipAndReport:
+    def corrupt(self, repo, uri):
+        path = repo.path_of(uri)
+        raw = bytearray(path.read_bytes())
+        raw[100] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+    def test_fail_fast_raises(self, scratch_repo):
+        service = MountService(
+            BindingSet.single(RepositoryBinding(scratch_repo)),
+            IngestionCache(CachePolicy.DISCARD),
+        )
+        uri = scratch_repo.uris()[0]
+        self.corrupt(scratch_repo, uri)
+        assert service.on_error == FAIL_FAST
+        with pytest.raises(IngestError):
+            service.mount_file(uri, "D", "d", None)
+
+    def test_skip_returns_empty_batch_and_reports(self, scratch_repo):
+        service = MountService(
+            BindingSet.single(RepositoryBinding(scratch_repo)),
+            IngestionCache(CachePolicy.DISCARD),
+            on_error=SKIP_AND_REPORT,
+        )
+        uri = scratch_repo.uris()[0]
+        self.corrupt(scratch_repo, uri)
+        batch = service.mount_file(uri, "D", "d", None)
+        assert batch.num_rows == 0
+        assert batch.names == [
+            "d.uri", "d.record_id", "d.sample_time", "d.sample_value",
+        ]
+        assert len(service.failure_report) == 1
+        failure = service.failure_report.failures[0]
+        assert failure.uri == uri
+        assert failure.error in ("SteimError", "CorruptFileError")
+        assert uri in service.failure_report.describe()
+        assert service.stats.skipped_mounts == 1
+
+    def test_quarantine_skips_repeat_mounts(self, scratch_repo):
+        """A self-join takes the same file twice; the second take must not
+        re-extract or double-report it."""
+        service = MountService(
+            BindingSet.single(RepositoryBinding(scratch_repo)),
+            IngestionCache(CachePolicy.DISCARD),
+            on_error=SKIP_AND_REPORT,
+        )
+        uri = scratch_repo.uris()[0]
+        self.corrupt(scratch_repo, uri)
+        service.mount_file(uri, "D", "d", None)
+        service.mount_file(uri, "D", "d2", None)
+        assert len(service.failure_report) == 1
+        assert service.stats.skipped_mounts == 2
+
+    def test_reset_failures_clears_quarantine(self, scratch_repo):
+        service = MountService(
+            BindingSet.single(RepositoryBinding(scratch_repo)),
+            IngestionCache(CachePolicy.DISCARD),
+            on_error=SKIP_AND_REPORT,
+        )
+        uri = scratch_repo.uris()[0]
+        self.corrupt(scratch_repo, uri)
+        service.mount_file(uri, "D", "d", None)
+        assert service.failure_report
+        service.reset_failures()
+        assert not service.failure_report
+        assert service.stats.skipped_mounts == 1  # stats are cumulative
+
+    def test_intact_files_unaffected(self, scratch_repo):
+        service = MountService(
+            BindingSet.single(RepositoryBinding(scratch_repo)),
+            IngestionCache(CachePolicy.DISCARD),
+            on_error=SKIP_AND_REPORT,
+        )
+        bad, good = scratch_repo.uris()[0], scratch_repo.uris()[1]
+        self.corrupt(scratch_repo, bad)
+        assert service.mount_file(bad, "D", "d", None).num_rows == 0
+        assert service.mount_file(good, "D", "d", None).num_rows > 0
+        assert service.failure_report.uris() == [bad]
+
+    def test_invalid_policy_rejected(self, scratch_repo):
+        with pytest.raises(ValueError):
+            MountService(
+                BindingSet.single(RepositoryBinding(scratch_repo)),
+                on_error="explode",
+            )
+
+
+class TestStaleDetection:
+    def test_file_deleted_mid_extract_is_stale(self, scratch_repo):
+        """Delete the file between the pre-stat and the decode: the typed
+        StaleFileError (transient) surfaces, not a raw FileNotFoundError."""
+
+        class DeletingExtractor(FlakyExtractor):
+            def __init__(self):
+                super().__init__(fail_times=0)
+
+            def mount(self, path, uri):
+                mounted = super().mount(path, uri)
+                path.unlink()
+                return mounted
+
+        service = _flaky_service(
+            scratch_repo, DeletingExtractor(), max_retries=0
+        )
+        with pytest.raises(StaleFileError) as excinfo:
+            service.mount_file(scratch_repo.uris()[0], "D", "d", None)
+        assert excinfo.value.transient
+
+    def test_file_rewritten_mid_extract_is_stale(self, scratch_repo):
+        class RewritingExtractor(FlakyExtractor):
+            def __init__(self):
+                super().__init__(fail_times=0)
+
+            def mount(self, path, uri):
+                mounted = super().mount(path, uri)
+                path.write_bytes(path.read_bytes() + b"x")
+                return mounted
+
+        service = _flaky_service(
+            scratch_repo, RewritingExtractor(), max_retries=0
+        )
+        with pytest.raises(StaleFileError):
+            service.mount_file(scratch_repo.uris()[0], "D", "d", None)
+
+
+class TestConcurrentExtraction:
+    """The service must not hold its own lock across buffer-manager calls:
+    concurrent _extract calls hammer one BufferManager and the byte
+    accounting must come out exact."""
+
+    def test_parallel_extract_accounting(self, tiny_repo):
+        service = MountService(
+            BindingSet.single(RepositoryBinding(tiny_repo)),
+            IngestionCache(CachePolicy.DISCARD),
+            buffers=BufferManager(),
+        )
+        uris = tiny_repo.uris()
+        sizes = {u: tiny_repo.path_of(u).stat().st_size for u in uris}
+        rounds = 8
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def hammer(worker):
+            try:
+                barrier.wait(timeout=10)
+                for i in range(rounds):
+                    uri = uris[(worker + i) % len(uris)]
+                    batch, _ = service._extract(uri, "D")
+                    assert batch.num_rows > 0
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        expected = sum(
+            sizes[uris[(w + i) % len(uris)]]
+            for w in range(4)
+            for i in range(rounds)
+        )
+        assert service.stats.bytes_read == expected
+        # Each distinct file was charged to the disk model exactly once.
+        assert service.buffers.stats.objects_read == len(set(uris))
+        assert service.buffers.stats.bytes_read == sum(
+            sizes[u] for u in set(uris)
+        )

@@ -191,6 +191,46 @@ def test_worker_failure_cancels_and_surfaces_uri():
     assert len(extract.calls) < len(tasks)
 
 
+@pytest.mark.parametrize("workers", [2, 4])
+def test_skip_mode_poisons_only_the_failed_key(workers):
+    """With fail_fast=False one bad file must not cancel the rest: every
+    other branch completes, and only takes of the failed key raise."""
+    tasks = keys(12)
+    bad_uri = tasks[3][1]
+    extract = RecordingExtract(delay=0.002, fail_uris={bad_uri})
+    with MountPool(extract, max_workers=workers, fail_fast=False) as pool:
+        pool.prefetch(tasks)
+        failures = []
+        for table_name, uri in tasks:
+            try:
+                batch = pool.take(uri, table_name)
+            except IngestError as exc:
+                failures.append((uri, exc))
+                continue
+            assert batch.column("tag").values[0] == hash(uri) % 10**9
+        assert [uri for uri, _ in failures] == [bad_uri]
+        assert failures[0][1].mount_uri == bad_uri
+        assert pool.first_error is None  # pool never poisoned
+    # Every file was attempted — nothing was cancelled.
+    assert sorted(extract.calls) == sorted(uri for _, uri in tasks)
+
+
+def test_skip_mode_serial_fallback():
+    tasks = keys(6)
+    bad_uri = tasks[2][1]
+    extract = RecordingExtract(fail_uris={bad_uri})
+    with MountPool(extract, max_workers=1, fail_fast=False) as pool:
+        pool.prefetch(tasks)
+        outcomes = []
+        for table_name, uri in tasks:
+            try:
+                pool.take(uri, table_name)
+                outcomes.append("ok")
+            except IngestError:
+                outcomes.append("fail")
+    assert outcomes == ["ok", "ok", "fail", "ok", "ok", "ok"]
+
+
 def test_invalid_configuration_rejected():
     with pytest.raises(ValueError):
         MountPool(lambda u, t: (tagged_batch(u), 0.0), max_workers=0)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.db.errors import CorruptFileError, IngestError, TruncatedFileError
 from repro.mseed import (
     HEADER_SIZE,
     RecordHeader,
@@ -13,6 +14,7 @@ from repro.mseed import (
     scan_headers,
     write_volume,
 )
+from repro.mseed.record import last_sample_offset, sample_time_offsets
 from repro.mseed.steim import SteimError
 from repro.mseed.volume import iter_records
 
@@ -43,12 +45,21 @@ class TestHeader:
     def test_bad_magic(self):
         raw = bytearray(make_record().header.pack())
         raw[0] = ord("Z")
-        with pytest.raises(SteimError):
+        with pytest.raises(CorruptFileError):
             RecordHeader.unpack(bytes(raw))
 
     def test_truncated_header(self):
-        with pytest.raises(SteimError):
+        with pytest.raises(TruncatedFileError):
             RecordHeader.unpack(b"\x00" * 10)
+
+    def test_bad_magic_carries_context(self):
+        raw = bytearray(make_record().header.pack())
+        raw[0] = ord("Z")
+        with pytest.raises(CorruptFileError) as excinfo:
+            RecordHeader.unpack(bytes(raw), uri="a/b.xseed", offset=128)
+        assert excinfo.value.uri == "a/b.xseed"
+        assert excinfo.value.offset == 128
+        assert isinstance(excinfo.value, IngestError)
 
     def test_end_time(self):
         header = make_record(start=1_000_000, n=21, rate=20.0).header
@@ -57,6 +68,22 @@ class TestHeader:
     def test_end_time_single_sample(self):
         header = make_record(start=5, n=1).header
         assert header.end_time == 5
+
+    def test_end_time_matches_sample_times(self):
+        record = make_record(start=123, n=777, rate=7.3)
+        assert record.header.end_time == record.sample_times()[-1]
+
+    @given(
+        st.integers(1, 100_000),
+        st.floats(0.001, 10_000.0, allow_nan=False, allow_infinity=False),
+    )
+    @settings(deadline=None, max_examples=200)
+    def test_end_time_boundary_property(self, n, rate):
+        """The header's O(1) end-time must agree with the last element of
+        the full sample-time grid for every (nsamples, rate) — the two used
+        to disagree by 1 µs when the float products rounded differently."""
+        offsets = sample_time_offsets(n, rate)
+        assert last_sample_offset(n, rate) == offsets[-1]
 
     def test_identifier_too_long(self):
         with pytest.raises(SteimError):
@@ -98,7 +125,7 @@ class TestRecord:
 
     def test_truncated_payload(self):
         raw = make_record().pack()
-        with pytest.raises(SteimError):
+        with pytest.raises(TruncatedFileError):
             XSeedRecord.unpack(raw[: HEADER_SIZE + 10])
 
     def test_unknown_encoding(self):
@@ -107,8 +134,22 @@ class TestRecord:
             **{**record.header.__dict__, "encoding": 99}
         )
         raw = bad_header.pack() + record.payload
-        with pytest.raises(SteimError):
+        with pytest.raises(CorruptFileError):
             XSeedRecord.unpack(raw)
+
+    def test_corrupt_payload_is_steim_and_ingest_error(self):
+        """Payload corruption keeps its historical SteimError class while
+        also being catchable as an IngestError (the taxonomy the mount
+        service's fail-fast relies on)."""
+        record = make_record(n=200)
+        raw = bytearray(record.pack())
+        raw[HEADER_SIZE + 36] ^= 0xFF
+        with pytest.raises(SteimError) as excinfo:
+            XSeedRecord.unpack(bytes(raw), uri="x.xseed", offset=0)
+        assert isinstance(excinfo.value, IngestError)
+        assert isinstance(excinfo.value, CorruptFileError)
+        assert excinfo.value.uri == "x.xseed"
+        assert excinfo.value.offset == HEADER_SIZE
 
 
 class TestVolume:
@@ -156,8 +197,17 @@ class TestVolume:
         path, _ = self.volume(tmp_path)
         raw = path.read_bytes()
         path.write_bytes(raw[:-8])
-        with pytest.raises(SteimError):
+        with pytest.raises(TruncatedFileError):
             read_records(path)
+
+    def test_truncated_volume_detected_by_header_scan(self, tmp_path):
+        """scan_headers seeks over payloads, but still must notice the last
+        record's payload runs past end-of-file."""
+        path, _ = self.volume(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-8])
+        with pytest.raises(TruncatedFileError):
+            scan_headers(path)
 
     def test_file_metadata_aggregates(self, tmp_path):
         path, records = self.volume(tmp_path)
@@ -172,7 +222,7 @@ class TestVolume:
     def test_empty_volume_metadata_raises(self, tmp_path):
         path = tmp_path / "empty.xseed"
         path.write_bytes(b"")
-        with pytest.raises(SteimError):
+        with pytest.raises(CorruptFileError):
             read_file_metadata(path)
 
     def test_write_returns_bytes(self, tmp_path):
