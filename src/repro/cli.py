@@ -91,6 +91,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "quarantine it, answer from the intact rest and report what was "
         "skipped (repo mode only)",
     )
+    query.add_argument(
+        "--verify-plans", action="store_true",
+        help="check structural plan invariants after every rewrite pass, "
+        "the two-stage split, and the stage-2 rewrite; abort with the "
+        "offending pass and node on a violation (REPRO_VERIFY_PLANS=1 "
+        "makes this the default)",
+    )
     query.add_argument("--limit", type=int, default=25,
                        help="rows to display")
 
@@ -167,6 +174,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     if args.db:
         db = Database.open(args.db)
+        if args.verify_plans:
+            db.verify_plans = True
         if args.explain:
             print(db.explain(args.sql))
             return 0
@@ -176,7 +185,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 0
 
     repo = FileRepository(args.repo, suffix=(".xseed", ".tscsv"))
-    db = Database()
+    db = Database(verify_plans=True if args.verify_plans else None)
     lazy_ingest_metadata(db, repo)
     executor = TwoStageExecutor(
         db,

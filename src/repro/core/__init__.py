@@ -49,6 +49,7 @@ from .mountpool import MountPool, MountPoolTimings, MountTaskTiming
 from .multistage import BatchSnapshot, MultiStageExecutor, MultiStageResult
 from .partial import PartialMerger, is_decomposable
 from .rules import RewriteReport, apply_ali_rewrite, rewrite_actual_scan
+from .verify import verify_ali_rewrite, verify_decomposition
 
 __all__ = [
     "BreakpointInfo",
@@ -96,4 +97,6 @@ __all__ = [
     "RewriteReport",
     "apply_ali_rewrite",
     "rewrite_actual_scan",
+    "verify_ali_rewrite",
+    "verify_decomposition",
 ]

@@ -14,7 +14,7 @@ path for ungrouped decomposable aggregates over the sample values.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from ..db.plan.logical import (
     ResultScan,
     Select,
 )
+from ..db.plan.physical import ExecutionContext
 from ..db.schema import ColumnDef, TableKind, TableSchema
 from ..db.table import ColumnBatch
 from ..db.types import DataType
@@ -95,7 +96,7 @@ class DerivedMetadataStore:
     def has_file(self, uri: str) -> bool:
         return uri in self._files_done
 
-    def coverage(self, uris) -> float:
+    def coverage(self, uris: Iterable[str]) -> float:
         uris = list(uris)
         if not uris:
             return 1.0
@@ -107,7 +108,7 @@ class DerivedMetadataStore:
         self,
         decomposition: Decomposition,
         files_by_alias: dict[str, list[str]],
-        ctx,
+        ctx: ExecutionContext,
         db: Database,
     ) -> Optional[QueryResult]:
         """Answer an ungrouped summary aggregate from ``DR`` if possible.

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from ..db.buffer import IoStats
 from ..db.database import Database, QueryResult
@@ -57,6 +57,7 @@ from .mounting import (
 from .mountpool import MountPool, MountPoolTimings
 from .partial import PartialMerger, is_decomposable
 from .rules import RewriteReport, apply_ali_rewrite
+from .verify import verify_ali_rewrite, verify_decomposition
 
 BULK = "bulk"  # strategy (a): union everything, operate once
 PER_FILE = "per_file"  # strategy (b): operate per file, merge results
@@ -131,7 +132,7 @@ class TwoStageResult:
     approximate: bool = False
 
     @property
-    def rows(self):
+    def rows(self) -> list[tuple[Any, ...]]:
         return self.result.rows()
 
     @property
@@ -165,6 +166,7 @@ class TwoStageExecutor:
         mount_workers: int = 1,
         mount_inflight: Optional[int] = None,
         on_mount_error: str = FAIL_FAST,
+        verify_plans: Optional[bool] = None,
     ) -> None:
         if isinstance(bindings, RepositoryBinding):
             bindings = BindingSet.single(bindings)
@@ -191,6 +193,11 @@ class TwoStageExecutor:
         self.estimate = estimate
         self.mount_workers = mount_workers
         self.mount_inflight = mount_inflight
+        # None inherits the database's setting (itself REPRO_VERIFY_PLANS-
+        # defaulted), so one env var flips the whole pipeline.
+        self.verify_plans = (
+            db.verify_plans if verify_plans is None else verify_plans
+        )
         if derived is not None:
             self.mounts.add_mount_callback(derived.on_mount)
 
@@ -218,9 +225,14 @@ class TwoStageExecutor:
         """Steps 1: parse, bind, optimize metadata-first, decompose."""
         plan = self.db.bind_sql(sql)
         plan = self.db.optimize(plan, metadata_first=True)
-        return decompose(
+        decomposition = decompose(
             plan, self.db.catalog.is_metadata_table, self._uri_column_of
         )
+        if self.verify_plans:
+            verify_decomposition(
+                decomposition, self.db.catalog.is_metadata_table
+            )
+        return decomposition
 
     def explain(self, sql: str) -> str:
         """The single optimized plan with the ``Qf`` branch marked."""
@@ -330,6 +342,8 @@ class TwoStageExecutor:
             time_column=self.mounts.time_column,
             report=report,
         )
+        if self.verify_plans:
+            verify_ali_rewrite(decomposition.qs, rewritten)
         breakpoint_info.rewrite = report
         timings.runtime_opt_seconds = time.perf_counter() - opt_started
 

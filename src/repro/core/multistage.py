@@ -28,6 +28,7 @@ from .executor_util import batch_from_rows
 from .mounting import MountFailureReport
 from .partial import PartialMerger, is_decomposable
 from .rules import apply_ali_rewrite
+from .verify import verify_ali_rewrite
 
 _TAG = "multistage_agg"
 
@@ -158,6 +159,8 @@ class MultiStageExecutor:
                         cache,
                         time_column=self.executor.mounts.time_column,
                     )
+                    if self.executor.verify_plans:
+                        verify_ali_rewrite(aggregate.child, child)
                     partial_plan = merger.partial_aggregate_node(child)
                     partial = db.execute_plan(partial_plan, ctx)
                     merger.merge(partial.rows(), partial.names)

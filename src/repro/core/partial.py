@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from ..db.errors import PlanError
-from ..db.plan.logical import Aggregate, AggSpec
+from ..db.plan.logical import Aggregate, AggSpec, LogicalPlan
 from ..db.types import DataType
 
 DECOMPOSABLE_FUNCS = {"sum", "count", "min", "max", "avg"}
@@ -108,7 +108,7 @@ class PartialMerger:
         self._state: dict[tuple, list[Any]] = {}
         self.files_merged = 0
 
-    def partial_aggregate_node(self, child) -> Aggregate:
+    def partial_aggregate_node(self, child: LogicalPlan) -> Aggregate:
         """The Aggregate node to run over one file's sub-plan."""
         return Aggregate(child, self.aggregate.groups, self.partial_specs)
 

@@ -1,0 +1,132 @@
+"""Two-stage-specific plan invariants (the paper's §3–4 soundness rules).
+
+:mod:`repro.db.plan.verify` checks invariants any relational plan must hold;
+this module adds the ones that make the ``Q = Qf ▷ Qs`` split and rule (1)
+sound:
+
+* ``Qf`` is a *metadata branch*: every leaf under it scans a metadata table
+  (otherwise stage 1 would touch actual data before the files of interest
+  are known),
+* every result-scan feeding ``Qs`` carries exactly the stage-1 output —
+  same keys, same types, same arity — so stage 2 reads precisely what
+  stage 1 materialized,
+* the run-time ALi rewrite (rule (1)) replaces each actual scan with a
+  union whose branches all produce the scan's schema, without disturbing
+  the rest of the plan's output.
+
+Violations raise :class:`~repro.db.errors.PlanInvariantError` naming the
+pass (``decompose`` or ``ali-rewrite``) and the offending node.
+"""
+
+from __future__ import annotations
+
+from ..db.errors import PlanInvariantError
+from ..db.plan.logical import LogicalPlan, ResultScan, Scan
+from ..db.plan.verify import verify_plan
+from .decompose import ClassifyFn, Decomposition
+
+PASS_DECOMPOSE = "decompose"
+PASS_ALI_REWRITE = "ali-rewrite"
+
+
+def _schema_map(plan: LogicalPlan) -> dict[str, object]:
+    return {key: dtype for key, dtype in plan.output}
+
+
+def verify_decomposition(
+    decomposition: Decomposition, classify: ClassifyFn
+) -> Decomposition:
+    """Check the two-stage soundness conditions of a ``Q = Qf ▷ Qs`` split."""
+    qf = decomposition.qf
+    qs = decomposition.qs
+
+    if qf is not None:
+        for node in qf.walk():
+            if node.children():
+                continue
+            if not isinstance(node, Scan):
+                raise PlanInvariantError(
+                    PASS_DECOMPOSE,
+                    "Qf contains a non-scan leaf; stage 1 may only read "
+                    "stored tables",
+                    node,
+                )
+            if not classify(node.table_name):
+                raise PlanInvariantError(
+                    PASS_DECOMPOSE,
+                    f"Qf scans {node.table_name!r}, which is not a metadata "
+                    "table — stage 1 must not touch actual data",
+                    node,
+                )
+        verify_plan(qf, PASS_DECOMPOSE)
+
+    if decomposition.metadata_only:
+        if qs is not None:
+            raise PlanInvariantError(
+                PASS_DECOMPOSE,
+                "metadata-only decomposition must not have a stage-2 plan",
+                qs,
+            )
+        return decomposition
+
+    if qs is None:
+        raise PlanInvariantError(
+            PASS_DECOMPOSE, "non-metadata-only decomposition is missing Qs"
+        )
+    verify_plan(qs, PASS_DECOMPOSE)
+
+    result_scans = [
+        node
+        for node in qs.walk()
+        if isinstance(node, ResultScan) and node.tag == decomposition.result_tag
+    ]
+    if qf is not None:
+        if not result_scans:
+            raise PlanInvariantError(
+                PASS_DECOMPOSE,
+                f"Qs never reads the stage-1 result (tag "
+                f"{decomposition.result_tag!r}); the metadata work would be "
+                "thrown away",
+                qs,
+            )
+        for node in result_scans:
+            if list(node.output) != list(qf.output):
+                raise PlanInvariantError(
+                    PASS_DECOMPOSE,
+                    f"result-scan arity/schema mismatch: scan expects "
+                    f"{node.output_keys()} but stage 1 produces "
+                    f"{qf.output_keys()}",
+                    node,
+                )
+    elif result_scans:
+        raise PlanInvariantError(
+            PASS_DECOMPOSE,
+            "Qs reads a stage-1 result but the decomposition has no Qf",
+            result_scans[0],
+        )
+
+    if _schema_map(qs) != _schema_map(decomposition.plan):
+        raise PlanInvariantError(
+            PASS_DECOMPOSE,
+            "Qs output schema drifted from the original plan's",
+            qs,
+        )
+    return decomposition
+
+
+def verify_ali_rewrite(before: LogicalPlan, after: LogicalPlan) -> LogicalPlan:
+    """Check rule (1)'s output: structurally sound, schema preserved.
+
+    The per-branch invariants (every union branch produces the union's
+    declared schema; fused predicates reference only the mounted file's own
+    alias) live in the generic node checks of
+    :func:`repro.db.plan.verify.verify_plan`.
+    """
+    verify_plan(after, PASS_ALI_REWRITE)
+    if _schema_map(before) != _schema_map(after):
+        raise PlanInvariantError(
+            PASS_ALI_REWRITE,
+            "rule (1) changed the stage-2 plan's output schema",
+            after,
+        )
+    return after

@@ -19,6 +19,7 @@ from .errors import (
     FileIngestError,
     IngestError,
     PlanError,
+    PlanInvariantError,
     QueryAbortedError,
     SqlSyntaxError,
     StaleFileError,
@@ -45,6 +46,7 @@ __all__ = [
     "BindError",
     "TypeError_",
     "PlanError",
+    "PlanInvariantError",
     "ExecutionError",
     "CatalogError",
     "StorageError",

@@ -20,6 +20,7 @@ from .plan.binder import Binder
 from .plan.logical import LogicalPlan
 from .plan.optimizer import PhysicalPlanner, optimize_logical
 from .plan.physical import ExecStats, ExecutionContext, Mounter
+from .plan.verify import verify_enabled_default, verify_physical
 from .schema import TableSchema
 from .sql.parser import parse_sql
 from .table import ColumnBatch, Table
@@ -81,9 +82,16 @@ class QueryResult:
 class Database:
     """An in-process columnar database with an explicit buffer manager."""
 
-    def __init__(self, disk_model: Optional[DiskModel] = None) -> None:
+    def __init__(
+        self,
+        disk_model: Optional[DiskModel] = None,
+        verify_plans: Optional[bool] = None,
+    ) -> None:
         self.catalog = Catalog()
         self.buffers = BufferManager(disk_model)
+        if verify_plans is None:
+            verify_plans = verify_enabled_default()
+        self.verify_plans = verify_plans
 
     # -- DDL / DML ------------------------------------------------------------
 
@@ -148,7 +156,7 @@ class Database:
         self, plan: LogicalPlan, metadata_first: bool = False
     ) -> LogicalPlan:
         classify = self.catalog.is_metadata_table if metadata_first else None
-        return optimize_logical(plan, classify)
+        return optimize_logical(plan, classify, verify=self.verify_plans)
 
     def make_context(self, mounter: Optional[Mounter] = None) -> ExecutionContext:
         return ExecutionContext(
@@ -166,6 +174,8 @@ class Database:
         io_before = self.buffers.stats.copy()
         started = time.perf_counter()
         physical = PhysicalPlanner(self.catalog, use_indexes=use_indexes).plan(plan)
+        if self.verify_plans:
+            verify_physical(physical, plan)
         batch = physical.execute(ctx)
         elapsed = time.perf_counter() - started
         io_after = self.buffers.stats

@@ -37,6 +37,32 @@ class PlanError(DatabaseError):
     """The logical plan is malformed or cannot be optimized/decomposed."""
 
 
+class PlanInvariantError(PlanError):
+    """A plan pass produced (or received) a plan violating an invariant.
+
+    Raised by the plan verifier (:mod:`repro.db.plan.verify` and
+    :mod:`repro.core.verify`). Carries the name of the pass whose output was
+    being checked and the offending plan node, so a bad rewrite is caught at
+    rewrite time with a precise location instead of surfacing as a wrong
+    answer deep in stage 2.
+    """
+
+    def __init__(
+        self,
+        pass_name: str,
+        message: str,
+        node: object | None = None,
+    ) -> None:
+        detail = f"[{pass_name}] {message}"
+        if node is not None:
+            label = getattr(node, "label", None)
+            where = label() if callable(label) else type(node).__name__
+            detail = f"{detail} (at {where})"
+        super().__init__(detail)
+        self.pass_name = pass_name
+        self.node = node
+
+
 class ExecutionError(DatabaseError):
     """A physical operator failed while producing its result."""
 

@@ -17,7 +17,7 @@ pairs; qualified keys are ``alias.column`` strings assigned by the binder.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from ..expr import Expr
 from ..types import DataType
@@ -54,7 +54,7 @@ class LogicalPlan:
             lines.append(child.explain(indent + 1, mark))
         return "\n".join(lines)
 
-    def walk(self):
+    def walk(self) -> Iterator["LogicalPlan"]:
         """Yield every node in the subtree, pre-order."""
         yield self
         for child in self.children():

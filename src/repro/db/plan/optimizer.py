@@ -58,21 +58,37 @@ from .rewrite import (
     prune_columns,
     push_down_selections,
 )
+from .verify import verify_pass, verify_plan
 
 
 def optimize_logical(
-    plan: LogicalPlan, classify: Optional[ClassifyFn] = None
+    plan: LogicalPlan,
+    classify: Optional[ClassifyFn] = None,
+    verify: bool = False,
 ) -> LogicalPlan:
     """Run the compile-time rewrite pipeline.
 
     ``classify`` enables the metadata-first reordering; passing None gives
-    the classic optimizer a conventional database would run.
+    the classic optimizer a conventional database would run. ``verify``
+    checks the binder's output and every pass against the structural
+    invariants in :mod:`repro.db.plan.verify`, raising
+    :class:`~repro.db.errors.PlanInvariantError` on the first violation.
     """
+    if verify:
+        verify_plan(plan, "bind")
+    stages: list[tuple[str, LogicalPlan]] = [("bind", plan)]
     plan = push_down_selections(plan)
+    stages.append(("push-down-selections", plan))
     if classify is not None:
         plan = metadata_first_join_order(plan, classify)
+        stages.append(("metadata-first-join-order", plan))
         plan = push_down_selections(plan)
+        stages.append(("push-down-selections", plan))
     plan = prune_columns(plan)
+    stages.append(("prune-columns", plan))
+    if verify:
+        for (_, before), (pass_name, after) in zip(stages, stages[1:]):
+            verify_pass(before, after, pass_name)
     return plan
 
 

@@ -79,7 +79,9 @@ def _push(plan: LogicalPlan, pending: list[Expr]) -> LogicalPlan:
         return Join(left, right, conjoin(sunk_condition))
     if isinstance(plan, UnionAll):
         inputs = [_push(child, list(pending)) for child in plan.inputs]
-        return UnionAll(inputs)
+        # Keep the declared schema: a zero-branch union (empty files of
+        # interest) has no input to infer it from.
+        return UnionAll(inputs, plan.declared_output or list(plan.output))
     if isinstance(plan, (Sort, Limit, Distinct)):
         # Filters commute with ordering and (for bag semantics) with limit only
         # when limit is above them — keep predicates above these operators.
@@ -233,8 +235,12 @@ def _prune(plan: LogicalPlan, required: set[str]) -> LogicalPlan:
         subplan = _prune(plan.subplan, set(plan.subplan.output_keys()))
         return SemiJoin(child, plan.operand, subplan, plan.negated)
     if isinstance(plan, UnionAll):
-        # Branch outputs must stay aligned; prune each with the same keys.
-        return UnionAll([_prune(child, required) for child in plan.inputs])
+        # Branch outputs must stay aligned with the union's schema, so prune
+        # with the union's own keys (not the caller's subset) and keep the
+        # declared schema for the zero-branch case.
+        union_keys = set(plan.output_keys())
+        inputs = [_prune(child, union_keys) for child in plan.inputs]
+        return UnionAll(inputs, plan.declared_output or list(plan.output))
     # Access paths (ResultScan/CacheScan/Mount) keep their full output.
     children = [
         _prune(child, set(child.output_keys())) for child in plan.children()

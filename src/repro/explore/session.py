@@ -47,7 +47,9 @@ class ExplorationSession:
     Likewise ``on_mount_error`` (the CLI's ``--on-mount-error``): ``"fail"``
     aborts a query on the first unreadable file, ``"skip"`` quarantines it
     and completes the query over the intact rest, recording the skip count
-    per history entry.
+    per history entry. ``verify_plans`` (the CLI's ``--verify-plans``) turns
+    on structural plan verification for every query; it applies to both
+    engine kinds.
     """
 
     engine: Union[Database, TwoStageExecutor]
@@ -55,6 +57,7 @@ class ExplorationSession:
     history: list[SessionEntry] = field(default_factory=list)
     mount_workers: Union[int, None] = None
     on_mount_error: Union[str, None] = None
+    verify_plans: Union[bool, None] = None
 
     def __post_init__(self) -> None:
         if self.mount_workers is not None:
@@ -76,6 +79,10 @@ class ExplorationSession:
                     f"got {self.on_mount_error!r}"
                 )
             self.engine.on_mount_error = self.on_mount_error
+        if self.verify_plans is not None:
+            self.engine.verify_plans = self.verify_plans
+            if isinstance(self.engine, TwoStageExecutor):
+                self.engine.db.verify_plans = self.verify_plans
 
     def run(self, sql: str, note: str = "") -> QueryResult:
         started = time.perf_counter()

@@ -192,3 +192,47 @@ class TestFullPipeline:
         # Right side: the metadata branch with its own selections.
         right_tables = {s.table_name for s in scans_in(top_join.right)}
         assert right_tables == {"M1", "M2"}
+
+
+class TestUnionAllSchemaPreservation:
+    """Regression: _push/_prune used to rebuild UnionAll without its
+    declared_output, crashing on zero-branch unions (the empty files-of-
+    interest case) and losing the pinned schema."""
+
+    def _empty_union(self):
+        from repro.db.plan.logical import UnionAll
+
+        declared = [("a1.k", DataType.INT64), ("a1.v", DataType.FLOAT64)]
+        return UnionAll([], declared_output=declared), declared
+
+    def test_push_preserves_declared_output_on_empty_union(self):
+        union, declared = self._empty_union()
+        pushed = push_down_selections(union)
+        assert pushed.output == declared
+
+    def test_prune_preserves_declared_output_on_empty_union(self):
+        union, declared = self._empty_union()
+        pruned = prune_columns(union)
+        assert pruned.output == declared
+
+    def test_prune_keeps_union_branches_aligned(self, db):
+        from repro.db.expr import ColumnRef
+        from repro.db.plan.logical import Project, UnionAll
+
+        scan = Scan(
+            "A1", "a1",
+            [("a1.k", DataType.INT64), ("a1.v", DataType.FLOAT64)],
+        )
+        union = UnionAll([scan], declared_output=list(scan.output))
+        # Only a1.k is required above the union — branches must still
+        # produce the union's full declared schema.
+        plan = Project(
+            union, [("k", ColumnRef("a1.k", DataType.INT64))]
+        )
+        pruned = prune_columns(plan)
+        pruned_union = next(
+            n for n in pruned.walk() if isinstance(n, UnionAll)
+        )
+        assert pruned_union.output == union.output
+        for branch in pruned_union.inputs:
+            assert branch.output == pruned_union.output

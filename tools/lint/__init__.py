@@ -1,0 +1,10 @@
+"""Project lint: AST-checked engineering discipline.
+
+Run as ``python -m tools.lint src tests`` from the repository root. See
+:mod:`tools.lint.rules` for what is enforced and why.
+"""
+
+from .framework import FileContext, Rule, Violation, run_lint
+from .rules import DEFAULT_RULES
+
+__all__ = ["FileContext", "Rule", "Violation", "run_lint", "DEFAULT_RULES"]

@@ -1,0 +1,27 @@
+"""CLI entry point: ``python -m tools.lint [paths...]``.
+
+Exits 1 when any rule fires — wired into CI next to pytest.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+from .framework import run_lint
+from .rules import DEFAULT_RULES
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    paths = list(argv if argv is not None else sys.argv[1:]) or ["src", "tests"]
+    violations = run_lint(paths, DEFAULT_RULES)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"{len(violations)} lint violation(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
