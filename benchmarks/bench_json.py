@@ -1,0 +1,93 @@
+"""Shared ``--json OUT`` emitter for the benchmark scripts.
+
+Every benchmark that supports machine-readable output funnels through
+:func:`emit_json`, so CI artifacts share one envelope::
+
+    {
+      "benchmark": "selective_mount",
+      "generated_at": "2026-08-06T12:00:00+00:00",
+      "python": "3.11.9",
+      "params": {...workload knobs...},
+      "results": [...one dict per measured configuration...]
+    }
+
+Dataclasses in ``params``/``results`` are serialized field-by-field, so
+benchmarks can pass their run records straight through.
+
+Usage in a benchmark script::
+
+    parser = argparse.ArgumentParser(...)
+    add_json_argument(parser)
+    ...
+    maybe_emit_json(args.json, "my_bench", params={...}, results=[...])
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Optional
+
+
+def add_json_argument(parser: argparse.ArgumentParser) -> None:
+    """Register the shared ``--json OUT`` option."""
+    parser.add_argument(
+        "--json", metavar="OUT", default=None,
+        help="also write machine-readable results to this JSON file",
+    )
+
+
+def _plain(value: Any) -> Any:
+    """Recursively reduce dataclasses/paths/tuples to JSON-native values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _plain(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, Path):
+        return str(value)
+    return value
+
+
+def emit_json(
+    path: str,
+    benchmark: str,
+    params: Any,
+    results: Any,
+) -> Path:
+    """Write one benchmark's envelope to ``path`` and return it."""
+    envelope = {
+        "benchmark": benchmark,
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "params": _plain(params),
+        "results": _plain(results),
+    }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(envelope, indent=2) + "\n")
+    return out
+
+
+def maybe_emit_json(
+    path: Optional[str],
+    benchmark: str,
+    params: Any,
+    results: Any,
+) -> Optional[Path]:
+    """:func:`emit_json` when ``--json`` was given; silently skip otherwise."""
+    if path is None:
+        return None
+    out = emit_json(path, benchmark, params, results)
+    print(f"wrote {benchmark} results to {out}")
+    return out

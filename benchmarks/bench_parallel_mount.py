@@ -29,6 +29,7 @@ import argparse
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from bench_json import add_json_argument, maybe_emit_json
 from repro.core import TwoStageExecutor
 from repro.db import Database
 from repro.harness.setup import materialize_repository
@@ -184,6 +185,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--workers", type=int, default=4, metavar="N")
     parser.add_argument("--runs", type=int, default=2)
+    add_json_argument(parser)
     args = parser.parse_args(argv)
 
     spec = quick_spec() if args.quick else mount_heavy_spec()
@@ -194,6 +196,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     serial, parallel = compare(repository, args.workers, args.runs)
     print(render(serial, parallel))
+    maybe_emit_json(
+        args.json,
+        "parallel_mount",
+        params={
+            "quick": args.quick,
+            "workers": args.workers,
+            "runs": args.runs,
+            "files": len(repository.uris()),
+            "repository_bytes": repository.total_bytes(),
+            "sql": FULL_SQL,
+        },
+        results={
+            "serial": serial,
+            "parallel": parallel,
+            "speedup": parallel.speedup,
+        },
+    )
     if not args.quick and parallel.speedup < 2.0:
         print(f"FAIL: speedup {parallel.speedup:.2f}x below the 2x floor")
         return 1

@@ -92,6 +92,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "skipped (repo mode only)",
     )
     query.add_argument(
+        "--no-selective-mounts", action="store_true",
+        help="disable record-granular selective mounting: always read and "
+        "decode whole files even when the fused predicate bounds the time "
+        "interval (repo mode only)",
+    )
+    query.add_argument(
         "--verify-plans", action="store_true",
         help="check structural plan invariants after every rewrite pass, "
         "the two-stage split, and the stage-2 rewrite; abort with the "
@@ -192,6 +198,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         RepositoryBinding(repo),
         mount_workers=args.mount_workers,
         on_mount_error=args.on_mount_error,
+        selective_mounts=not args.no_selective_mounts,
     )
     if args.explain:
         print(executor.explain(args.sql))

@@ -39,6 +39,7 @@ from .informativeness import (
 from .mounting import (
     FAIL_FAST,
     SKIP_AND_REPORT,
+    ExtractResult,
     MountFailure,
     MountFailureReport,
     MountService,
@@ -83,6 +84,7 @@ __all__ = [
     "MountStats",
     "MountFailure",
     "MountFailureReport",
+    "ExtractResult",
     "FAIL_FAST",
     "SKIP_AND_REPORT",
     "MountPool",

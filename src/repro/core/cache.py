@@ -11,10 +11,12 @@ space that challenge spans:
   tuples inside the requested time interval; §3: "combined selections with
   cache-scans even lets the cache storage be tuple-granular").
 
-A tuple-granular entry records the closed time interval it covers; a request
-is served only when some entry's interval is a superset of the requested
-one — otherwise the whole file must be mounted again, exactly the trade-off
-§3 points out.
+Every entry records the closed time interval it *covers* (whole-file for a
+full mount, the pruning interval for a selective one); a request is served
+only when some entry's interval is a superset of the requested one —
+otherwise the file must be mounted again, exactly the trade-off §3 points
+out. Re-mounting with wider coverage replaces the entries it subsumes
+(widen-on-remount), so coverage only ever grows until invalidation.
 
 The cache is shared by every worker of a :class:`~repro.core.mountpool.MountPool`,
 so all public operations take an internal lock: lookups (which move LRU
@@ -33,12 +35,20 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..db.interval import INF, WHOLE_FILE, Interval, covers
 from ..db.table import ColumnBatch
 
-INF = 2**62
-Interval = tuple[int, int]  # closed [lo, hi] in µs; (-INF, INF) = whole file
-
-WHOLE_FILE: Interval = (-INF, INF)
+__all__ = [
+    "INF",
+    "Interval",
+    "WHOLE_FILE",
+    "covers",
+    "CachePolicy",
+    "CacheGranularity",
+    "CacheStats",
+    "FileSignature",
+    "IngestionCache",
+]
 
 # What the ingestion cache records about the file behind an entry at store
 # time: (st_mtime_ns, st_size). A lookup presenting a different signature
@@ -59,10 +69,6 @@ class CacheGranularity(enum.Enum):
     TUPLE = "tuple"
 
 
-def covers(entry: Interval, request: Interval) -> bool:
-    return entry[0] <= request[0] and entry[1] >= request[1]
-
-
 @dataclass
 class CacheStats:
     hits: int = 0
@@ -70,6 +76,7 @@ class CacheStats:
     insertions: int = 0
     evictions: int = 0
     invalidations: int = 0  # entries dropped by invalidate()/clear()/staleness
+    rejected: int = 0  # batches refused admission (larger than the budget)
     current_bytes: int = 0
 
 
@@ -112,7 +119,10 @@ class IngestionCache:
         over interval entries is a read of state another thread may be
         rewriting (the read-modify-write this lock exists for)."""
         if self.granularity is CacheGranularity.FILE:
-            return uri if uri in self._entries else None
+            entry = self._entries.get(uri)
+            if entry is not None and covers(entry.interval, request):
+                return uri
+            return None
         for key, entry in self._entries.items():
             if isinstance(key, tuple) and key[0] == uri and covers(
                 entry.interval, request
@@ -173,24 +183,59 @@ class IngestionCache:
     ) -> None:
         """Retain one mount's data, subject to policy and granularity.
 
-        FILE granularity expects the *full* file batch (interval is forced to
-        whole-file); TUPLE granularity expects a batch already narrowed to
-        ``interval`` and must never contain rows filtered by non-time
-        predicates, or later broader requests would see missing tuples.
-        ``signature`` records the file's on-disk state for staleness checks.
+        ``interval`` is the *coverage* the batch guarantees: every tuple of
+        the file whose time falls inside it is present (selective mounts pass
+        their pruning interval, full mounts the default whole-file). The
+        batch must never contain rows filtered by non-time predicates, or
+        later requests inside the coverage would see missing tuples.
+
+        Re-storing a file widens on remount: an entry already covering
+        ``interval`` is kept (the store is a no-op), otherwise the new entry
+        replaces every entry of the file it subsumes — FILE granularity keeps
+        exactly one entry per URI, TUPLE granularity drops the now-redundant
+        narrower intervals. ``signature`` records the file's on-disk state
+        for staleness checks.
         """
         if self.policy is CachePolicy.DISCARD:
             return
-        if self.granularity is CacheGranularity.FILE:
-            key: object = uri
-            interval = WHOLE_FILE
-        else:
-            key = (uri, interval)
         entry = _Entry(interval, batch, signature)  # sized outside the lock
+        if (
+            self.policy is CachePolicy.LRU
+            and self.capacity_bytes is not None
+            and entry.nbytes > self.capacity_bytes
+        ):
+            # Admission check: an entry larger than the whole budget could
+            # never be retained honestly — admitting it would either evict
+            # everything else and *still* overflow, or (the old bug) sit
+            # above capacity forever behind a last-entry guard.
+            with self._lock:
+                self.stats.rejected += 1
+            return
+        key: object = uri if self.granularity is CacheGranularity.FILE else (
+            uri, interval
+        )
         with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
+            existing = self._matching_key(uri, interval)
+            if existing is not None:
+                self._entries.move_to_end(existing)
                 return
+            # Widen-on-remount: drop every entry of this file the new
+            # coverage subsumes before inserting the wider one.
+            doomed = [
+                k
+                for k, e in self._entries.items()
+                if (k == uri or (isinstance(k, tuple) and k[0] == uri))
+                and covers(interval, e.interval)
+            ]
+            for k in doomed:
+                old = self._entries.pop(k)
+                self.stats.current_bytes -= old.nbytes
+            # A same-key entry the new coverage does *not* subsume (disjoint
+            # FILE-granularity re-store) is still replaced below — account
+            # for it, or current_bytes drifts upward forever.
+            displaced = self._entries.pop(key, None)
+            if displaced is not None:
+                self.stats.current_bytes -= displaced.nbytes
             self._entries[key] = entry
             self.stats.insertions += 1
             self.stats.current_bytes += entry.nbytes
@@ -200,7 +245,7 @@ class IngestionCache:
         if self.policy is not CachePolicy.LRU:
             return
         assert self.capacity_bytes is not None
-        while self.stats.current_bytes > self.capacity_bytes and len(self._entries) > 1:
+        while self.stats.current_bytes > self.capacity_bytes and self._entries:
             _, entry = self._entries.popitem(last=False)
             self.stats.current_bytes -= entry.nbytes
             self.stats.evictions += 1

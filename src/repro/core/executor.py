@@ -34,7 +34,8 @@ from ..db.plan.logical import (
     ResultScan,
     UnionAll,
 )
-from ..ingest.schema import FILE_TABLE, BindingSet, RepositoryBinding
+from ..ingest.formats import RecordSpan
+from ..ingest.schema import FILE_TABLE, RECORD_TABLE, BindingSet, RepositoryBinding
 from .breakpoint import BreakpointInfo
 from .cache import INF, IngestionCache
 from .decompose import Decomposition, decompose, _replace_subtree
@@ -167,6 +168,7 @@ class TwoStageExecutor:
         mount_inflight: Optional[int] = None,
         on_mount_error: str = FAIL_FAST,
         verify_plans: Optional[bool] = None,
+        selective_mounts: bool = True,
     ) -> None:
         if isinstance(bindings, RepositoryBinding):
             bindings = BindingSet.single(bindings)
@@ -184,8 +186,18 @@ class TwoStageExecutor:
         # `cache or ...` would discard an *empty* cache (len() == 0 is falsy).
         self.cache = cache if cache is not None else IngestionCache()
         self.mounts = MountService(
-            bindings, self.cache, buffers=db.buffers, on_error=on_mount_error
+            bindings,
+            self.cache,
+            buffers=db.buffers,
+            on_error=on_mount_error,
+            selective=selective_mounts,
         )
+        # Selective mounts seek by the record byte map the metadata pass
+        # recorded in R; the provider serves it per file, rebuilt only when
+        # the R table's batch object changes (metadata loads replace it).
+        self.mounts.record_map_provider = self._record_map
+        self._record_spans: dict[str, tuple[RecordSpan, ...]] = {}
+        self._record_spans_source: Optional[object] = None
         self.destiny = destiny or ProceedAlways()
         self.cost_model = cost_model or CostModel()
         self.strategy = strategy
@@ -355,7 +367,14 @@ class TwoStageExecutor:
         try:
             pool.prefetch(
                 [
-                    (node.table_name, node.uri)
+                    (
+                        node.table_name,
+                        node.uri,
+                        self.mounts.request_for(
+                            node.uri, node.table_name, node.alias,
+                            node.predicate,
+                        ),
+                    )
                     for node in rewritten.walk()
                     if isinstance(node, Mount)
                 ]
@@ -462,6 +481,52 @@ class TwoStageExecutor:
         starts = batch.column("start_time").to_pylist()
         ends = batch.column("end_time").to_pylist()
         return {u: (int(s), int(e)) for u, s, e in zip(uris, starts, ends)}
+
+    def _record_map(
+        self, uri: str, table_name: str
+    ) -> Optional[tuple[RecordSpan, ...]]:
+        """One file's record byte map, served from the ``R`` metadata table.
+
+        Returns None when R is absent, lacks the byte columns, or has no
+        rows for the file — selective extraction then falls back to its own
+        header walk. The map is rebuilt only when R's batch object changes
+        (appends replace it), so repeated mounts in one query are O(1).
+        """
+        if not self.db.catalog.has_table(RECORD_TABLE):
+            return None
+        batch = self.db.catalog.table(RECORD_TABLE).batch
+        if self._record_spans_source is not batch:
+            required = (
+                "uri", "record_id", "start_time", "end_time",
+                "byte_offset", "byte_length",
+            )
+            if any(name not in batch.names for name in required):
+                return None
+            uris = batch.column("uri").to_pylist()
+            record_ids = batch.column("record_id").to_pylist()
+            starts = batch.column("start_time").to_pylist()
+            ends = batch.column("end_time").to_pylist()
+            offsets = batch.column("byte_offset").to_pylist()
+            lengths = batch.column("byte_length").to_pylist()
+            by_uri: dict[str, list[RecordSpan]] = {}
+            for u, rid, st, et, off, ln in zip(
+                uris, record_ids, starts, ends, offsets, lengths
+            ):
+                by_uri.setdefault(u, []).append(
+                    RecordSpan(
+                        record_id=int(rid),
+                        byte_offset=int(off),
+                        byte_length=int(ln),
+                        start_time=int(st),
+                        end_time=int(et),
+                    )
+                )
+            self._record_spans = {
+                u: tuple(sorted(spans, key=lambda s: s.record_id))
+                for u, spans in by_uri.items()
+            }
+            self._record_spans_source = batch
+        return self._record_spans.get(uri)
 
     def _repository_file_count(self, decomposition: Decomposition) -> int:
         tables = {info.table_name.lower() for info in decomposition.actual_scans}

@@ -45,11 +45,16 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from ..db.buffer import BufferManager
 from ..db.errors import FileIngestError, IngestError, StaleFileError
-from ..db.expr import ColumnRef, Comparison, Expr, Literal, conjuncts
+from ..db.expr import Expr
+from ..db.interval import covers, interval_from_predicate
 from ..db.table import ColumnBatch
-from ..db.types import DataType
 from ..ingest._batches import mounted_file_batch, mounted_files_batch
-from ..ingest.formats import FormatExtractor
+from ..ingest.formats import (
+    FormatExtractor,
+    MountRequest,
+    RecordSpan,
+    SelectiveFormatExtractor,
+)
 from ..ingest.schema import BindingSet
 from .cache import (
     INF,
@@ -116,40 +121,19 @@ class MountFailureReport:
         return "\n".join(lines)
 
 
-def interval_from_predicate(
-    predicate: Optional[Expr], time_key: str
-) -> Interval:
-    """The closed time interval implied by range conjuncts on ``time_key``.
-
-    Only conjuncts of the form ``time <op> literal`` (or mirrored) narrow the
-    interval; anything else leaves it unbounded on that side. The hull is
-    closed even for strict comparisons — serving a superset and re-filtering
-    is always correct.
-    """
-    lo, hi = -INF, INF
-    if predicate is None:
-        return lo, hi
-    for conj in conjuncts(predicate):
-        if not isinstance(conj, Comparison):
-            continue
-        column, literal, op = None, None, conj.op
-        if isinstance(conj.left, ColumnRef) and isinstance(conj.right, Literal):
-            column, literal = conj.left, conj.right
-        elif isinstance(conj.right, ColumnRef) and isinstance(conj.left, Literal):
-            column, literal = conj.right, conj.left
-            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
-        if column is None or column.key != time_key:
-            continue
-        if literal.dtype is not DataType.TIMESTAMP:
-            continue
-        value = int(literal.value)
-        if op in (">", ">="):
-            lo = max(lo, value)
-        elif op in ("<", "<="):
-            hi = min(hi, value)
-        elif op == "=":
-            lo, hi = max(lo, value), min(hi, value)
-    return lo, hi
+# interval_from_predicate moved to repro.db.interval (the plan verifier needs
+# it below the core layer); re-exported here for compatibility.
+__all__ = [
+    "ExtractResult",
+    "FAIL_FAST",
+    "MountFailure",
+    "MountFailureReport",
+    "MountService",
+    "MountStats",
+    "ON_ERROR_POLICIES",
+    "SKIP_AND_REPORT",
+    "interval_from_predicate",
+]
 
 
 def _interval_mask_batch(
@@ -172,11 +156,39 @@ class MountStats:
     mounts: int = 0
     cache_scans: int = 0
     tuples_mounted: int = 0
-    bytes_read: int = 0
+    bytes_read: int = 0  # bytes actually pulled off disk (partial for selective)
     fallback_mounts: int = 0  # cache-scan that had to re-mount
     stale_remounts: int = 0  # cache entries invalidated by a changed file
     retries: int = 0  # transient-failure extraction retries
+    retry_deadline_hits: int = 0  # retry ladders cut short by the deadline
     skipped_mounts: int = 0  # branches answered empty under SKIP_AND_REPORT
+    selective_mounts: int = 0  # extractions that pruned at record granularity
+    records_decoded: int = 0  # payloads actually Steim-decoded
+    records_skipped: int = 0  # records pruned by the request interval
+    empty_interval_skips: int = 0  # contradictory predicates: no disk touched
+
+
+@dataclass(frozen=True)
+class ExtractResult:
+    """One file's extraction: the batch, its cost, and what it covers.
+
+    ``coverage`` is the closed time interval the batch is complete for —
+    whole-file for a full mount, the request's pruning interval for a
+    selective one (the batch then holds every tuple of every record
+    overlapping it, a superset of the tuples *inside* it).
+    """
+
+    batch: ColumnBatch
+    io_seconds: float
+    coverage: Interval = WHOLE_FILE
+    bytes_read: int = 0
+    records_decoded: int = 0
+    records_skipped: int = 0
+    selective: bool = False
+
+
+# (uri, table_name) -> the file's record byte map from the R table, or None.
+RecordMapProvider = Callable[[str, str], Optional[tuple[RecordSpan, ...]]]
 
 
 @dataclass
@@ -213,7 +225,17 @@ class MountService:
     on_error: str = FAIL_FAST
     max_retries: int = 2
     retry_backoff_seconds: float = 0.01
+    # Wall-clock cap on one file's whole retry ladder (None = unbounded):
+    # a transient failure whose next backoff would cross the deadline gives
+    # up immediately instead of stalling a mount-pool worker.
+    retry_deadline_seconds: Optional[float] = None
     validate_staleness: bool = True
+    # Selective mounting: push the fused predicate's time interval into
+    # extraction so only overlapping records are read and decoded.
+    selective: bool = True
+    record_map_provider: Optional[RecordMapProvider] = field(
+        default=None, repr=False
+    )
     failure_report: MountFailureReport = field(
         default_factory=MountFailureReport
     )
@@ -269,6 +291,32 @@ class MountService:
 
     # -- Mounter protocol -----------------------------------------------------
 
+    def request_for(
+        self,
+        uri: str,
+        table_name: str,
+        alias: str,
+        predicate: Optional[Expr],
+    ) -> Optional[MountRequest]:
+        """The selective :class:`MountRequest` one mount branch implies.
+
+        ``None`` means "mount the whole file" — selective mounting disabled,
+        or the fused predicate does not bound the time column at all. The
+        record byte map is attached when a provider is wired (the executor
+        serves it from the ``R`` table) and the interval is non-empty.
+        """
+        if not self.selective:
+            return None
+        interval = interval_from_predicate(
+            predicate, f"{alias}.{self.time_column}"
+        )
+        if interval == WHOLE_FILE:
+            return None
+        records: Optional[tuple[RecordSpan, ...]] = None
+        if self.record_map_provider is not None and interval[0] <= interval[1]:
+            records = self.record_map_provider(uri, table_name)
+        return MountRequest(interval=interval, records=records)
+
     def mount_file(
         self,
         uri: str,
@@ -283,22 +331,31 @@ class MountService:
                 with self._lock:
                     self.stats.skipped_mounts += 1
                 return self._empty_branch(alias, predicate)
+        request = self.request_for(uri, table_name, alias, predicate)
+        if request is not None and request.selects_nothing:
+            # Contradictory conjuncts: the branch cannot produce rows, so
+            # answer empty without touching the repository at all.
+            with self._lock:
+                self.stats.empty_interval_skips += 1
+            return self._empty_branch(alias, predicate)
         try:
-            if self.pool is not None:
-                batch = self.pool.take(uri, table_name)
-            else:
-                batch, _ = self._extract(uri, table_name)
+            result = self._obtain(uri, table_name, request)
         except IngestError as exc:
             if self.on_error != SKIP_AND_REPORT:
                 raise
             self._quarantine(uri, exc)
             return self._empty_branch(alias, predicate)
+        batch = result.batch
         with self._lock:
             self.stats.mounts += 1
             self.stats.tuples_mounted += batch.num_rows
 
-        for callback in self._callbacks:
-            callback(uri, batch)
+        if result.coverage == WHOLE_FILE:
+            # Mount side-effects (derived metadata) summarize whole files;
+            # feeding them a record-pruned batch would record wrong
+            # summaries, so partial mounts skip them.
+            for callback in self._callbacks:
+                callback(uri, batch)
 
         interval = interval_from_predicate(
             predicate, f"{alias}.{self.time_column}"
@@ -309,8 +366,29 @@ class MountService:
             self.cache.store(uri, narrowed, interval, signature=signature)
             batch = narrowed
         else:
-            self.cache.store(uri, batch, signature=signature)
+            self.cache.store(
+                uri, batch, result.coverage, signature=signature
+            )
         return self._deliver(batch, alias, predicate)
+
+    def _obtain(
+        self, uri: str, table_name: str, request: Optional[MountRequest]
+    ) -> "ExtractResult":
+        """One branch's extraction, via the pool when one is attached.
+
+        The pool may have prefetched the file under a different (hull-merged)
+        request; any coverage that satisfies this branch is accepted, and a
+        result too narrow for it — only possible if prefetch and execution
+        disagree, which the executor prevents — falls back to an inline
+        re-extraction rather than returning incomplete rows.
+        """
+        if self.pool is None:
+            return self._extract(uri, table_name, request)
+        result = self.pool.take(uri, table_name, request)
+        needed = WHOLE_FILE if request is None else request.interval
+        if not covers(result.coverage, needed):
+            return self._extract(uri, table_name, request)
+        return result
 
     def cache_scan(
         self,
@@ -380,33 +458,56 @@ class MountService:
             return None
         return self._current_signature(uri, table_name)
 
-    def _extract(self, uri: str, table_name: str) -> tuple[ColumnBatch, float]:
+    def _extract(
+        self,
+        uri: str,
+        table_name: str,
+        request: Optional[MountRequest] = None,
+    ) -> "ExtractResult":
         """Extract one file into a batch; thread-safe (mount-pool workers
         call this concurrently). Returns the batch plus the simulated disk
-        seconds the buffer manager charged for reading the file.
+        seconds the buffer manager charged and the extraction's coverage /
+        read accounting.
 
         Transient failures (I/O errors, files caught mid-rewrite) retry up
-        to ``max_retries`` times with linear backoff; the final exception
+        to ``max_retries`` times with linear backoff, but never past
+        ``retry_deadline_seconds`` of wall clock; the final exception
         carries the retry count as ``exc.ingest_retries``.
         """
         path, extractor = self._resolve(uri, table_name)
         attempt = 0
+        deadline = (
+            None
+            if self.retry_deadline_seconds is None
+            else time.monotonic() + self.retry_deadline_seconds
+        )
         while True:
             try:
-                return self._extract_once(uri, path, extractor)
+                return self._extract_once(uri, path, extractor, request)
             except FileIngestError as exc:
                 exc.ingest_retries = attempt  # type: ignore[attr-defined]
                 if not exc.transient or attempt >= self.max_retries:
                     raise
+                backoff = self.retry_backoff_seconds * (attempt + 1)
+                if deadline is not None and (
+                    time.monotonic() + backoff >= deadline
+                ):
+                    with self._lock:
+                        self.stats.retry_deadline_hits += 1
+                    raise
                 attempt += 1
                 with self._lock:
                     self.stats.retries += 1
-                if self.retry_backoff_seconds > 0:
-                    time.sleep(self.retry_backoff_seconds * attempt)
+                if backoff > 0:
+                    time.sleep(backoff)
 
     def _extract_once(
-        self, uri: str, path: Path, extractor: FormatExtractor
-    ) -> tuple[ColumnBatch, float]:
+        self,
+        uri: str,
+        path: Path,
+        extractor: FormatExtractor,
+        request: Optional[MountRequest] = None,
+    ) -> "ExtractResult":
         try:
             before = _file_signature(path)
         except FileNotFoundError as exc:
@@ -415,15 +516,48 @@ class MountService:
                 uri=uri,
                 cause=exc,
             ) from exc
-        nbytes = before[1]
-        io_seconds = 0.0
-        # The buffer manager locks itself; only the service's own counter
-        # needs this lock — never hold it across the (slow) disk model.
-        if self.buffers is not None:
-            io_seconds = self.buffers.touch(f"repo:{uri}", nbytes)
-        with self._lock:
-            self.stats.bytes_read += nbytes
-        mounted = extractor.mount(path, uri)
+        selective = request is not None and isinstance(
+            extractor, SelectiveFormatExtractor
+        )
+        if selective:
+            assert request is not None
+            mounted_sel = extractor.mount_selective(path, uri, request)
+            nbytes = mounted_sel.bytes_read
+            mounted = mounted_sel.mounted
+            coverage = request.interval
+            records_decoded = mounted_sel.records_decoded
+            records_skipped = mounted_sel.records_skipped
+            io_seconds = 0.0
+            # A partial read never marks the file resident — a later full
+            # mount must still pay the disk model for the rest of it.
+            if self.buffers is not None and nbytes > 0:
+                io_seconds = self.buffers.touch_bytes(
+                    f"repo:{uri}", nbytes, full=records_skipped == 0
+                )
+            with self._lock:
+                self.stats.bytes_read += nbytes
+                self.stats.selective_mounts += 1
+                self.stats.records_decoded += records_decoded
+                self.stats.records_skipped += records_skipped
+        else:
+            nbytes = before[1]
+            io_seconds = 0.0
+            # The buffer manager locks itself; only the service's own
+            # counter needs this lock — never hold it across the (slow)
+            # disk model.
+            if self.buffers is not None:
+                io_seconds = self.buffers.touch(f"repo:{uri}", nbytes)
+            with self._lock:
+                self.stats.bytes_read += nbytes
+            mounted = extractor.mount(path, uri)
+            coverage = WHOLE_FILE
+            # record_id is per-file consecutive, so the last id counts them.
+            records_decoded = (
+                int(mounted.record_id[-1]) + 1 if len(mounted.record_id) else 0
+            )
+            records_skipped = 0
+            with self._lock:
+                self.stats.records_decoded += records_decoded
         if self.validate_staleness:
             try:
                 after = _file_signature(path)
@@ -439,7 +573,15 @@ class MountService:
                     f"(mtime/size {before} -> {after})",
                     uri=uri,
                 )
-        return mounted_file_batch(mounted), io_seconds
+        return ExtractResult(
+            batch=mounted_file_batch(mounted),
+            io_seconds=io_seconds,
+            coverage=coverage,
+            bytes_read=nbytes,
+            records_decoded=records_decoded,
+            records_skipped=records_skipped,
+            selective=selective,
+        )
 
     def _deliver(
         self, batch: ColumnBatch, alias: str, predicate: Optional[Expr]

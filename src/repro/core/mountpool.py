@@ -64,14 +64,39 @@ import time
 from collections import deque
 from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
-from ..db.table import ColumnBatch
+from ..db.interval import hull
+from ..ingest.formats import MountRequest
 
-# extract(uri, table_name) -> (batch, simulated_io_seconds)
-ExtractFn = Callable[[str, str], tuple[ColumnBatch, float]]
+if TYPE_CHECKING:  # pragma: no cover - typing only (runtime import cycle)
+    from .mounting import ExtractResult
+
+# extract(uri, table_name, request) -> ExtractResult. A None request means
+# "mount the whole file"; a request narrows extraction to the records
+# overlapping its interval (selective mounting).
+ExtractFn = Callable[[str, str, Optional[MountRequest]], "ExtractResult"]
 
 MountKey = tuple[str, str]  # (table_name, uri)
+
+# One prefetch task: a key, optionally with the branch's mount request.
+MountTask = "MountKey | tuple[str, str, Optional[MountRequest]]"
+
+
+def _merge_requests(
+    a: Optional[MountRequest], b: Optional[MountRequest]
+) -> Optional[MountRequest]:
+    """The single request serving two takers of one key (single-flight).
+
+    ``None`` (whole file) absorbs everything; otherwise the merged request
+    covers both intervals, so each taker's coverage check passes.
+    """
+    if a is None or b is None:
+        return None
+    return MountRequest(
+        interval=hull(a.interval, b.interval),
+        records=a.records if a.records is not None else b.records,
+    )
 
 _POLL_SECONDS = 0.05  # backpressure wake-up interval for cancellation checks
 
@@ -164,7 +189,10 @@ class MountPool:
         self._queue: deque[MountKey] = deque()
         self._live_workers = 0
         self._pending_takes: dict[MountKey, int] = {}
-        self._results: dict[MountKey, ColumnBatch] = {}
+        # Per-key mount request, hull-merged over every prefetch of the key
+        # so the single extraction covers all of its takers.
+        self._requests: dict[MountKey, Optional[MountRequest]] = {}
+        self._results: dict[MountKey, "ExtractResult"] = {}
         self._holds_slot: set[MountKey] = set()
         self._worker_ids: dict[int, int] = {}
         self._cancelled = False
@@ -205,16 +233,28 @@ class MountPool:
 
     # -- producing side ------------------------------------------------------
 
-    def prefetch(self, tasks: Sequence[MountKey | tuple[str, str]]) -> None:
-        """Begin extracting ``(table_name, uri)`` tasks, in plan order.
+    def prefetch(self, tasks: Sequence) -> None:
+        """Begin extracting ``(table_name, uri[, request])`` tasks, in plan
+        order.
 
-        Duplicate keys are single-flighted: the file is extracted once and
-        served to every consumer that takes it. With ``max_workers=1`` this
-        only records the expected takes — extraction happens lazily inline.
+        Duplicate keys are single-flighted: the file is extracted once,
+        under the hull of every taker's request, and served to every
+        consumer that takes it. With ``max_workers=1`` this only records
+        the expected takes — extraction happens lazily inline.
         """
-        keys = [(table_name, uri) for table_name, uri in tasks]
+        keys: list[MountKey] = []
         with self._lock:
-            for key in keys:
+            for task in tasks:
+                table_name, uri = task[0], task[1]
+                request = task[2] if len(task) > 2 else None
+                key = (table_name, uri)
+                keys.append(key)
+                if key in self._pending_takes:
+                    self._requests[key] = _merge_requests(
+                        self._requests.get(key), request
+                    )
+                else:
+                    self._requests[key] = request
                 self._pending_takes[key] = self._pending_takes.get(key, 0) + 1
         if self.max_workers == 1 or len(set(keys)) < 2:
             return  # serial fallback: extract inline at take() time
@@ -264,8 +304,10 @@ class MountPool:
                     self._slots.release()
                     break  # queue drained
                 table_name, uri = key
+                with self._lock:
+                    request = self._requests.get(key)
                 try:
-                    batch = self._timed_extract(uri, table_name)
+                    result = self._timed_extract(uri, table_name, request)
                 except BaseException as exc:  # noqa: BLE001 - forwarded to taker
                     self._slots.release()
                     self._record_failure(uri, exc)
@@ -275,7 +317,7 @@ class MountPool:
                     continue  # skip mode: this key is poisoned, keep draining
                 with self._lock:
                     self._holds_slot.add(key)
-                future.set_result(batch)
+                future.set_result(result)
         finally:
             with self._lock:
                 self._live_workers -= 1
@@ -290,9 +332,11 @@ class MountPool:
             self._slots.release()
             raise CancelledError("mount pool cancelled")
 
-    def _timed_extract(self, uri: str, table_name: str) -> ColumnBatch:
+    def _timed_extract(
+        self, uri: str, table_name: str, request: Optional[MountRequest]
+    ) -> "ExtractResult":
         started = time.perf_counter()
-        batch, io_seconds = self._extract(uri, table_name)
+        result = self._extract(uri, table_name, request)
         elapsed = time.perf_counter() - started
         with self._lock:
             worker = self._worker_ids.setdefault(
@@ -304,10 +348,10 @@ class MountPool:
                     table_name=table_name,
                     worker=worker,
                     extract_seconds=elapsed,
-                    io_seconds=io_seconds,
+                    io_seconds=result.io_seconds,
                 )
             )
-        return batch
+        return result
 
     def _record_failure(self, uri: str, exc: BaseException) -> None:
         with self._lock:
@@ -328,13 +372,20 @@ class MountPool:
 
     # -- consuming side ------------------------------------------------------
 
-    def take(self, uri: str, table_name: str) -> ColumnBatch:
-        """The extracted batch for one mount branch, in plan order.
+    def take(
+        self,
+        uri: str,
+        table_name: str,
+        request: Optional[MountRequest] = None,
+    ) -> "ExtractResult":
+        """The extraction result for one mount branch, in plan order.
 
         Blocks until the worker finishes; steals not-yet-started tasks and
         runs them inline; extracts inline anything never prefetched (e.g. a
-        cache-scan fallback). Raises the pool's first error once any worker
-        has failed.
+        cache-scan fallback, which uses the caller's ``request``). Stolen
+        and pooled tasks run under the key's hull-merged prefetch request,
+        which covers every taker's. Raises the pool's first error once any
+        worker has failed.
         """
         if self.first_error is not None:
             raise self.first_error
@@ -342,20 +393,27 @@ class MountPool:
         with self._lock:
             cached = self._results.get(key)
             future = self._futures.get(key)
+            # A prefetched key extracts under its merged request; a key the
+            # pool never saw uses whatever the caller asked for.
+            pooled_request = self._requests.get(key, request)
         if cached is not None:
             return self._consume(key, cached)
         if future is None:
             # Never prefetched (serial fallback, or a cache-scan miss that
             # fell back to mounting): extract on the consuming thread.
-            return self._consume(key, self._extract_inline(uri, table_name))
+            return self._consume(
+                key, self._extract_inline(uri, table_name, pooled_request)
+            )
         if not future.done() and future.cancel():
             # Work conservation: the task is still queued (workers busy or
             # backpressure-starved) — run it here instead of waiting.
             with self._lock:
                 self._futures.pop(key, None)
-            return self._consume(key, self._extract_inline(uri, table_name))
+            return self._consume(
+                key, self._extract_inline(uri, table_name, pooled_request)
+            )
         try:
-            batch = future.result()
+            result = future.result()
         except CancelledError:
             if self.first_error is not None:
                 raise self.first_error from None
@@ -364,18 +422,22 @@ class MountPool:
             if self.first_error is not None:
                 raise self.first_error from None
             raise
-        return self._consume(key, batch)
+        return self._consume(key, result)
 
-    def _extract_inline(self, uri: str, table_name: str) -> ColumnBatch:
+    def _extract_inline(
+        self, uri: str, table_name: str, request: Optional[MountRequest]
+    ) -> "ExtractResult":
         """Consumer-thread extraction, with the same error annotation and
         cancellation the worker path gets (``exc.mount_uri``, pool poisoned)."""
         try:
-            return self._timed_extract(uri, table_name)
+            return self._timed_extract(uri, table_name, request)
         except BaseException as exc:
             self._record_failure(uri, exc)
             raise
 
-    def _consume(self, key: MountKey, batch: ColumnBatch) -> ColumnBatch:
+    def _consume(
+        self, key: MountKey, batch: "ExtractResult"
+    ) -> "ExtractResult":
         """Bookkeeping for one served batch: keep it around while further
         takes of the same key are expected (single-flight), release the
         backpressure slot once nobody else will read it."""
@@ -389,6 +451,7 @@ class MountPool:
                 self._pending_takes.pop(key, None)
                 self._results.pop(key, None)
                 self._futures.pop(key, None)
+                self._requests.pop(key, None)
                 slot_free = key in self._holds_slot
                 self._holds_slot.discard(key)
         if slot_free:

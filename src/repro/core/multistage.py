@@ -23,7 +23,7 @@ from ..db.database import QueryResult
 from ..db.errors import PlanError
 from ..db.plan.logical import Aggregate, ResultScan, UnionAll
 from .decompose import _replace_subtree
-from .executor import TwoStageExecutor
+from .executor import TwoStageExecutor, _actual_scan_predicates
 from .executor_util import batch_from_rows
 from .mounting import MountFailureReport
 from .partial import PartialMerger, is_decomposable
@@ -143,10 +143,20 @@ class MultiStageExecutor:
         cache = self.executor.cache
         pool = self.executor.make_mount_pool()
         self.executor.mounts.pool = pool
+        # The per-file rewrites below fuse this alias's predicate into every
+        # branch, so prefetch under the same mount request (same interval,
+        # per-file byte map) the branch will ask for.
+        predicate = _actual_scan_predicates(decomposition.qs).get(info.alias)
         try:
             pool.prefetch(
                 [
-                    (table_name, uri)
+                    (
+                        table_name,
+                        uri,
+                        self.executor.mounts.request_for(
+                            uri, table_name, info.alias, predicate
+                        ),
+                    )
                     for uri in files
                     if not cache.contains(uri)
                 ]

@@ -27,6 +27,7 @@ from ..db.plan.logical import (
     Select,
     UnionAll,
 )
+from ..db.interval import is_empty
 from ..db.types import DataType
 from .cache import IngestionCache, Interval, WHOLE_FILE
 from .mounting import interval_from_predicate
@@ -39,6 +40,10 @@ class RewriteReport:
     mounts: int = 0
     cache_scans: int = 0
     pruned_by_uri_predicate: int = 0
+    # Branches never created because the fused predicate's time conjuncts
+    # contradict each other: the empty interval proves the branch yields no
+    # rows, so no mount (and no disk access) ever happens.
+    pruned_by_empty_interval: int = 0
 
 
 def uris_from_uri_predicate(
@@ -89,6 +94,17 @@ def rewrite_actual_scan(
         interval = interval_from_predicate(
             predicate, f"{scan.alias}.{time_column}"
         )
+    if is_empty(interval):
+        # Contradictory time conjuncts: no tuple can satisfy the predicate,
+        # so rule (1) drops every branch — the paper's best case, nothing is
+        # ever ingested.
+        if report is not None:
+            report.pruned_by_empty_interval += len(files_of_interest)
+        return UnionAll([], declared_output=list(scan.output))
+    # The node's pruning interval: whole-file predicates carry None (mount
+    # everything); a bounded interval licenses record-granular skipping.
+    node_interval = None if interval == WHOLE_FILE else interval
+    node_interval_column = None if node_interval is None else time_column
     branches: list[LogicalPlan] = []
     for uri in files_of_interest:
         if cache.contains(uri, interval):
@@ -99,6 +115,8 @@ def rewrite_actual_scan(
                     alias=scan.alias,
                     output=list(scan.output),
                     predicate=predicate,
+                    interval=node_interval,
+                    interval_column=node_interval_column,
                 )
             )
             if report is not None:
@@ -111,6 +129,8 @@ def rewrite_actual_scan(
                     alias=scan.alias,
                     output=list(scan.output),
                     predicate=predicate,
+                    interval=node_interval,
+                    interval_column=node_interval_column,
                 )
             )
             if report is not None:

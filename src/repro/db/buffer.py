@@ -87,11 +87,24 @@ class BufferManager:
 
     def touch(self, name: str, nbytes: int) -> float:
         """Record an access; returns the simulated seconds charged (0 if hot)."""
+        return self.touch_bytes(name, nbytes, full=True)
+
+    def touch_bytes(self, name: str, nbytes: int, full: bool = True) -> float:
+        """Record an access of ``nbytes`` of object ``name``.
+
+        ``full=False`` models a partial (record-granular) read: the bytes
+        are charged against the disk model unless the whole object is
+        already resident, but the object is *not* marked resident — a later
+        full read still pays. Residency stays object-granular (no byte-range
+        tracking), which can only overcharge repeated partial reads of one
+        file, never undercharge.
+        """
         with self._lock:
             self.stats.touched.add(name)
             if name in self._resident:
                 return 0.0
-            self._resident.add(name)
+            if full:
+                self._resident.add(name)
             seconds = self.disk.read_seconds(nbytes)
             self.stats.objects_read += 1
             self.stats.bytes_read += int(nbytes)

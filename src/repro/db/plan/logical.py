@@ -341,6 +341,12 @@ class CacheScan(LogicalPlan):
     alias: str
     output: OutputSchema
     predicate: Optional[Expr] = None
+    # The branch's pruning interval: the closed [lo, hi] µs interval the
+    # fused predicate implies on ``interval_column`` (None = whole file).
+    # Selective mounting and interval-granular cache lookups key off it;
+    # the plan verifier checks it covers the predicate's hull.
+    interval: Optional[tuple[int, int]] = None
+    interval_column: Optional[str] = None  # unqualified time column name
 
     def with_children(self, children: Sequence[LogicalPlan]) -> "CacheScan":
         assert not children
@@ -365,6 +371,11 @@ class Mount(LogicalPlan):
     alias: str
     output: OutputSchema
     predicate: Optional[Expr] = None
+    # Pruning interval + time column, same semantics as CacheScan's: records
+    # outside it may be skipped at extraction, so the verifier demands it be
+    # no narrower than the fused predicate's hull.
+    interval: Optional[tuple[int, int]] = None
+    interval_column: Optional[str] = None
 
     def with_children(self, children: Sequence[LogicalPlan]) -> "Mount":
         assert not children

@@ -19,6 +19,10 @@ node when one is violated:
   branches must agree before they are concatenated),
 * **access-path locality** — a fused Mount/CacheScan predicate references
   only the mounted file's own alias,
+* **interval covering** — a Mount/CacheScan pruning interval must be no
+  narrower than the hull its fused predicate implies on the time column
+  (selective mounting skips records outside the interval, so a narrower one
+  would silently drop admissible rows),
 * **pass-level schema preservation** — a rewrite pass must not change the
   (key → type) mapping of the plan root (:func:`verify_pass`),
 * **lowering fidelity** — the physical operator tree produces exactly the
@@ -36,6 +40,7 @@ import os
 
 from ..errors import PlanInvariantError
 from ..expr import ColumnRef, Expr
+from ..interval import covers, interval_from_predicate
 from ..types import DataType
 from .logical import (
     Aggregate,
@@ -280,6 +285,28 @@ def _check_node(node: LogicalPlan, pass_name: str) -> None:
             if node.predicate.dtype is not DataType.BOOL:
                 raise PlanInvariantError(
                     pass_name, "fused predicate must be boolean", node
+                )
+        if node.interval is not None:
+            # Selective mounting skips records outside the pruning interval,
+            # so an interval narrower than the fused predicate's hull would
+            # silently drop rows the query is entitled to. The hull is
+            # recomputed here, independently of the rewrite that attached it.
+            if node.interval_column is None:
+                raise PlanInvariantError(
+                    pass_name,
+                    "pruning interval set without interval_column",
+                    node,
+                )
+            hull = interval_from_predicate(
+                node.predicate, f"{node.alias}.{node.interval_column}"
+            )
+            if not covers(node.interval, hull):
+                raise PlanInvariantError(
+                    pass_name,
+                    f"pruning interval {node.interval} is narrower than the "
+                    f"fused predicate's hull {hull}: selective extraction "
+                    "would skip records the predicate admits",
+                    node,
                 )
     elif isinstance(node, (Scan, ResultScan)):
         pass  # output-shape check above is all a leaf needs

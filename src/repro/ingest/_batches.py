@@ -46,7 +46,8 @@ def file_rows_batch(rows: Sequence[FileMetaRow]) -> ColumnBatch:
 
 def record_rows_batch(rows: Sequence[RecordMetaRow]) -> ColumnBatch:
     return ColumnBatch(
-        ["uri", "record_id", "start_time", "end_time", "sample_rate", "nsamples"],
+        ["uri", "record_id", "start_time", "end_time", "sample_rate",
+         "nsamples", "byte_offset", "byte_length"],
         [
             _string_column([r.uri for r in rows]),
             Column(DataType.INT64,
@@ -59,6 +60,10 @@ def record_rows_batch(rows: Sequence[RecordMetaRow]) -> ColumnBatch:
                    np.asarray([r.sample_rate for r in rows], dtype=np.float64)),
             Column(DataType.INT64,
                    np.asarray([r.nsamples for r in rows], dtype=np.int64)),
+            Column(DataType.INT64,
+                   np.asarray([r.byte_offset for r in rows], dtype=np.int64)),
+            Column(DataType.INT64,
+                   np.asarray([r.byte_length for r in rows], dtype=np.int64)),
         ],
     )
 

@@ -27,6 +27,8 @@ from .formats import (
     ExtractedMetadata,
     FileMetaRow,
     MountedFile,
+    MountOutcome,
+    MountRequest,
     RecordMetaRow,
     extraction_guard,
 )
@@ -112,6 +114,8 @@ class CsvExtractor:
             end_time=end_time,
             sample_rate=sample_rate,
             nsamples=nsamples,
+            byte_offset=0,
+            byte_length=file_row.size_bytes,
         )
         return ExtractedMetadata(file_row, [record_row])
 
@@ -149,3 +153,43 @@ class CsvExtractor:
             sample_time=data[:, 0].astype(np.int64),
             sample_value=data[:, 1],
         )
+
+    def mount_selective(
+        self, path: Path, uri: str, request: MountRequest
+    ) -> MountOutcome:
+        """Single-record format: all-or-nothing at record granularity.
+
+        A request that does not overlap the file's one record skips the
+        body parse entirely (only the comment-line prefix is read to learn
+        the record's span when the caller supplied no byte map).
+        """
+        spans = request.records
+        if spans is not None and len(spans) == 1:
+            start_time, end_time = spans[0].start_time, spans[0].end_time
+            span_bytes = 0  # known from metadata; nothing read yet
+        else:
+            with extraction_guard(uri, path):
+                fields = _parse_header(path)
+                start_time = int(fields["start_time"])
+                end_time = start_time + last_sample_offset(
+                    int(fields["nsamples"]), float(fields["sample_rate"])
+                )
+            span_bytes = _prefix_length(path)
+        if not request.wants(start_time, end_time):
+            empty = np.empty(0, dtype=np.int64)
+            mounted = MountedFile(uri, empty, empty.copy(),
+                                  np.empty(0, dtype=np.float64))
+            return MountOutcome(mounted, span_bytes, 0, 1)
+        mounted = self.mount(path, uri)
+        return MountOutcome(mounted, path.stat().st_size, 1, 0)
+
+
+def _prefix_length(path: Path) -> int:
+    """Bytes of the comment-line prefix (what a header-only read costs)."""
+    total = 0
+    with open(path, "r") as handle:
+        for line in handle:
+            if not line.startswith("#"):
+                break
+            total += len(line)
+    return total

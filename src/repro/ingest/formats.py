@@ -10,6 +10,16 @@ schema through two operations with very different costs:
 * :meth:`~FormatExtractor.mount` — full extract/transform; feeds the actual
   data table ``D`` one file at a time.
 
+Extractors may additionally implement **selective mounting**
+(``mount_selective``): given a :class:`MountRequest` — the fused predicate's
+closed time interval plus, when the metadata pass recorded one, the file's
+record byte map — the extractor seeks directly to the records whose header
+interval overlaps the request, reads only those byte ranges, and decodes
+only those payloads. The :class:`MountOutcome` it returns carries exact
+read/decode accounting so the mount service can charge the buffer manager
+for the bytes actually read rather than the whole file. Formats that do not
+implement it fall back to :meth:`~FormatExtractor.mount` transparently.
+
 The :class:`FormatRegistry` resolves a file's extractor by suffix, so one
 repository may mix formats.
 """
@@ -20,11 +30,12 @@ import struct
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Protocol, runtime_checkable
+from typing import Iterator, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from ..db.errors import CorruptFileError, FileIngestError, IngestError
+from ..db.interval import WHOLE_FILE, Interval, is_empty, overlaps
 
 
 @contextmanager
@@ -78,7 +89,14 @@ class FileMetaRow:
 
 @dataclass(frozen=True)
 class RecordMetaRow:
-    """One row of the record-level metadata table ``R``."""
+    """One row of the record-level metadata table ``R``.
+
+    ``byte_offset``/``byte_length`` locate the record inside its file — the
+    header-only pass walks record boundaries anyway, so recording them is
+    free, and they are what lets selective mounting seek straight to a
+    record instead of streaming the whole file. ``-1`` means the format
+    cannot address records by byte range.
+    """
 
     uri: str
     record_id: int
@@ -86,6 +104,8 @@ class RecordMetaRow:
     end_time: int
     sample_rate: float
     nsamples: int
+    byte_offset: int = -1
+    byte_length: int = -1
 
 
 @dataclass(frozen=True)
@@ -115,6 +135,78 @@ class MountedFile:
         return len(self.sample_value)
 
 
+@dataclass(frozen=True)
+class RecordSpan:
+    """One record's position in time and in its file (the byte map unit)."""
+
+    record_id: int
+    byte_offset: int
+    byte_length: int
+    start_time: int
+    end_time: int
+
+    @property
+    def addressable(self) -> bool:
+        return self.byte_offset >= 0 and self.byte_length > 0
+
+
+def spans_from_record_rows(rows: Sequence[RecordMetaRow]) -> tuple[RecordSpan, ...]:
+    """The record byte map implied by one file's ``R`` rows."""
+    return tuple(
+        RecordSpan(
+            record_id=row.record_id,
+            byte_offset=row.byte_offset,
+            byte_length=row.byte_length,
+            start_time=row.start_time,
+            end_time=row.end_time,
+        )
+        for row in rows
+    )
+
+
+@dataclass(frozen=True)
+class MountRequest:
+    """What a query actually needs from one file.
+
+    ``interval`` is the fused predicate's closed time interval (the Mount
+    node's pruning interval); ``records`` is the file's record byte map from
+    the metadata pass, or ``None`` when the caller has none — the extractor
+    then walks record headers itself, still skipping non-overlapping
+    payload reads and decodes.
+    """
+
+    interval: Interval = WHOLE_FILE
+    records: Optional[tuple[RecordSpan, ...]] = None
+
+    @property
+    def selects_all(self) -> bool:
+        return self.interval == WHOLE_FILE
+
+    @property
+    def selects_nothing(self) -> bool:
+        return is_empty(self.interval)
+
+    def wants(self, start_time: int, end_time: int) -> bool:
+        """Whether a record spanning ``[start_time, end_time]`` overlaps."""
+        return overlaps(self.interval, start_time, end_time)
+
+
+@dataclass(frozen=True)
+class MountOutcome:
+    """A (possibly selective) mount plus exact read/decode accounting.
+
+    ``bytes_read`` is what the extraction actually pulled off disk — the
+    number the buffer manager is charged with — and ``records_decoded`` /
+    ``records_skipped`` partition the file's records by whether their
+    payload was ever decompressed.
+    """
+
+    mounted: MountedFile
+    bytes_read: int
+    records_decoded: int
+    records_skipped: int
+
+
 @runtime_checkable
 class FormatExtractor(Protocol):
     """One scientific file format's mapping onto the relational schema."""
@@ -128,6 +220,25 @@ class FormatExtractor(Protocol):
 
     def mount(self, path: Path, uri: str) -> MountedFile:
         """Full extraction of the file's actual data."""
+        ...
+
+
+@runtime_checkable
+class SelectiveFormatExtractor(FormatExtractor, Protocol):
+    """A format extractor that can mount a subset of a file's records."""
+
+    def mount_selective(
+        self, path: Path, uri: str, request: MountRequest
+    ) -> MountOutcome:
+        """Extract only the records overlapping ``request.interval``.
+
+        Must return exactly the tuples of every record whose header time
+        span overlaps the request (a superset of the tuples inside the
+        interval — the mount service re-applies the fused predicate), with
+        byte-exact read accounting. A byte map that no longer matches the
+        file on disk must surface as
+        :class:`~repro.db.errors.StaleFileError`.
+        """
         ...
 
 

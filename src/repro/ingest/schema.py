@@ -51,6 +51,10 @@ def record_table_schema() -> TableSchema:
             ColumnDef("end_time", DataType.TIMESTAMP),
             ColumnDef("sample_rate", DataType.FLOAT64),
             ColumnDef("nsamples", DataType.INT64),
+            # The record byte map: where each record lives inside its file.
+            # -1/-1 means the format cannot address records by byte range.
+            ColumnDef("byte_offset", DataType.INT64),
+            ColumnDef("byte_length", DataType.INT64),
         ],
         kind=TableKind.METADATA,
         primary_key=("uri", "record_id"),

@@ -6,11 +6,14 @@ from pathlib import Path
 
 import numpy as np
 
-from ..mseed.volume import iter_records, read_file_metadata
+from ..mseed.record import HEADER_SIZE
+from ..mseed.volume import iter_records, read_file_metadata, read_selected_records
 from .formats import (
     ExtractedMetadata,
     FileMetaRow,
     MountedFile,
+    MountOutcome,
+    MountRequest,
     RecordMetaRow,
     extraction_guard,
 )
@@ -43,17 +46,23 @@ class XSeedExtractor:
             nsamples=meta.nsamples,
             size_bytes=meta.size_bytes,
         )
-        record_rows = [
-            RecordMetaRow(
-                uri=uri,
-                record_id=i,
-                start_time=h.start_time,
-                end_time=h.end_time,
-                sample_rate=h.sample_rate,
-                nsamples=h.nsamples,
+        record_rows = []
+        offset = 0
+        for i, h in enumerate(headers):
+            length = HEADER_SIZE + h.payload_len
+            record_rows.append(
+                RecordMetaRow(
+                    uri=uri,
+                    record_id=i,
+                    start_time=h.start_time,
+                    end_time=h.end_time,
+                    sample_rate=h.sample_rate,
+                    nsamples=h.nsamples,
+                    byte_offset=offset,
+                    byte_length=length,
+                )
             )
-            for i, h in enumerate(headers)
-        ]
+            offset += length
         return ExtractedMetadata(file_row, record_rows)
 
     def mount(self, path: Path, uri: str) -> MountedFile:
@@ -75,4 +84,42 @@ class XSeedExtractor:
             record_id=np.concatenate(record_ids),
             sample_time=np.concatenate(sample_times),
             sample_value=np.concatenate(sample_values),
+        )
+
+    def mount_selective(
+        self, path: Path, uri: str, request: MountRequest
+    ) -> MountOutcome:
+        spans = request.records
+        if spans is not None and not all(s.addressable for s in spans):
+            # A byte map with holes (e.g. rows from an older metadata pass)
+            # cannot be trusted for seeking; fall back to the header walk.
+            spans = None
+        with extraction_guard(uri, path):
+            selected = read_selected_records(
+                path, request.interval, uri=uri, spans=spans
+            )
+        record_ids: list[np.ndarray] = []
+        sample_times: list[np.ndarray] = []
+        sample_values: list[np.ndarray] = []
+        for record_id, record in selected.records:
+            n = record.header.nsamples
+            record_ids.append(np.full(n, record_id, dtype=np.int64))
+            sample_times.append(record.sample_times())
+            sample_values.append(record.samples.astype(np.float64))
+        if record_ids:
+            mounted = MountedFile(
+                uri=uri,
+                record_id=np.concatenate(record_ids),
+                sample_time=np.concatenate(sample_times),
+                sample_value=np.concatenate(sample_values),
+            )
+        else:
+            empty = np.empty(0, dtype=np.int64)
+            mounted = MountedFile(uri, empty, empty.copy(),
+                                  np.empty(0, dtype=np.float64))
+        return MountOutcome(
+            mounted=mounted,
+            bytes_read=selected.bytes_read,
+            records_decoded=selected.records_decoded,
+            records_skipped=selected.records_skipped,
         )

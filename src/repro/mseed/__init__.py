@@ -14,8 +14,10 @@ from .repository import FileRepository
 from .steim import steim_decode, steim_encode, SteimError
 from .synthesize import RepositorySpec, WaveformSpec, generate_repository, synthesize_waveform
 from .volume import (
+    SelectiveRead,
     read_file_metadata,
     read_records,
+    read_selected_records,
     read_volume,
     scan_headers,
     write_volume,
@@ -36,6 +38,8 @@ __all__ = [
     "write_volume",
     "read_volume",
     "read_records",
+    "read_selected_records",
     "read_file_metadata",
     "scan_headers",
+    "SelectiveRead",
 ]

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Sequence
+from typing import Iterator, Optional, Sequence
 
-from ..db.errors import CorruptFileError, TruncatedFileError
+from ..db.errors import CorruptFileError, StaleFileError, TruncatedFileError
+from ..db.interval import Interval, overlaps
 from .record import HEADER_SIZE, RecordHeader, XSeedRecord
 
 
@@ -68,6 +69,142 @@ def iter_records(
 def read_volume(path: str | Path) -> list[XSeedRecord]:
     """Alias for :func:`read_records` (kept for symmetry with write)."""
     return read_records(path)
+
+
+@dataclass(frozen=True)
+class SelectiveRead:
+    """What a record-granular read of one volume produced and cost."""
+
+    records: list[tuple[int, XSeedRecord]]  # (record_id, decoded record)
+    bytes_read: int  # headers + payloads actually pulled off disk
+    records_decoded: int
+    records_skipped: int
+
+
+def read_selected_records(
+    path: str | Path,
+    interval: Interval,
+    uri: str | None = None,
+    spans: Optional[Sequence] = None,
+) -> SelectiveRead:
+    """Decode only the records whose header time span overlaps ``interval``.
+
+    With a record byte map (``spans`` — objects carrying ``record_id``,
+    ``byte_offset``, ``byte_length``, ``start_time``, ``end_time``), the
+    read seeks straight to each overlapping record and touches nothing
+    else: skipped records cost zero bytes. Every selected record's header
+    is re-validated against its span — a map that no longer matches the
+    file (rewritten since the metadata pass) raises
+    :class:`~repro.db.errors.StaleFileError` instead of yielding torn rows.
+
+    Without a byte map, the read streams the file header-by-header (64
+    bytes per record, like :func:`scan_headers`) and seeks over every
+    non-overlapping payload, so the payload read + Steim decode — the
+    dominant cost — is still skipped.
+    """
+    uri = uri if uri is not None else str(path)
+    path = Path(path)
+    if spans is not None:
+        return _read_by_byte_map(path, interval, uri, spans)
+    return _read_by_header_walk(path, interval, uri)
+
+
+def _read_by_byte_map(
+    path: Path, interval: Interval, uri: str, spans: Sequence
+) -> SelectiveRead:
+    size = path.stat().st_size
+    records: list[tuple[int, XSeedRecord]] = []
+    bytes_read = 0
+    skipped = 0
+    with open(path, "rb") as handle:
+        for span in spans:
+            if not overlaps(interval, span.start_time, span.end_time):
+                skipped += 1
+                continue
+            if span.byte_offset + span.byte_length > size:
+                raise TruncatedFileError(
+                    f"record ends at byte "
+                    f"{span.byte_offset + span.byte_length}, file ends at "
+                    f"{size}",
+                    uri=uri,
+                    offset=span.byte_offset,
+                )
+            handle.seek(span.byte_offset)
+            raw = handle.read(span.byte_length)
+            bytes_read += len(raw)
+            header = RecordHeader.unpack(raw, uri=uri, offset=span.byte_offset)
+            if (
+                header.start_time != span.start_time
+                or HEADER_SIZE + header.payload_len != span.byte_length
+            ):
+                raise StaleFileError(
+                    "record byte map no longer matches the file on disk "
+                    f"(record {span.record_id}: header start_time/length "
+                    "drifted since the metadata pass)",
+                    uri=uri,
+                    offset=span.byte_offset,
+                )
+            records.append(
+                (
+                    span.record_id,
+                    XSeedRecord.unpack(raw, uri=uri, offset=span.byte_offset),
+                )
+            )
+    return SelectiveRead(records, bytes_read, len(records), skipped)
+
+
+def _read_by_header_walk(
+    path: Path, interval: Interval, uri: str
+) -> SelectiveRead:
+    size = path.stat().st_size
+    records: list[tuple[int, XSeedRecord]] = []
+    bytes_read = 0
+    skipped = 0
+    offset = 0
+    record_id = 0
+    with open(path, "rb") as handle:
+        while True:
+            header_raw = handle.read(HEADER_SIZE)
+            if not header_raw:
+                break
+            bytes_read += len(header_raw)
+            header = RecordHeader.unpack(header_raw, uri=uri, offset=offset)
+            record_end = offset + HEADER_SIZE + header.payload_len
+            if not overlaps(interval, header.start_time, header.end_time):
+                # Truncation inside a skipped payload is still detected
+                # against the file size (the scan_headers guarantee), but
+                # the payload's *content* is never read — damage inside a
+                # record the query does not touch cannot fail the query.
+                if record_end > size:
+                    raise TruncatedFileError(
+                        f"record payload truncated: file ends at byte "
+                        f"{size}, record needs {record_end}",
+                        uri=uri,
+                        offset=offset + HEADER_SIZE,
+                    )
+                handle.seek(header.payload_len, 1)
+                skipped += 1
+            else:
+                payload = handle.read(header.payload_len)
+                bytes_read += len(payload)
+                if len(payload) != header.payload_len:
+                    raise TruncatedFileError(
+                        f"record payload truncated: {len(payload)} of "
+                        f"{header.payload_len} bytes",
+                        uri=uri,
+                        offset=offset + HEADER_SIZE,
+                    )
+                records.append(
+                    (
+                        record_id,
+                        XSeedRecord.unpack(
+                            header_raw + payload, uri=uri, offset=offset
+                        ),
+                    )
+                )
+            offset = record_end
+            record_id += 1
+    return SelectiveRead(records, bytes_read, len(records), skipped)
 
 
 def scan_headers(

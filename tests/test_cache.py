@@ -204,10 +204,100 @@ class TestLru:
         assert cache.contains("a")
         assert not cache.contains("b")
 
-    def test_never_evicts_last_entry(self):
+    def test_oversized_entry_rejected_at_admission(self):
+        """An entry larger than the whole capacity can never fit: admitting
+        it would either blow the budget forever (the old ``len > 1`` evict
+        guard kept it) or evict everything else for nothing. It is rejected
+        outright and counted."""
         cache = IngestionCache(CachePolicy.LRU, capacity_bytes=1)
         cache.store("a", batch())
-        assert cache.contains("a")
+        assert not cache.contains("a")
+        assert cache.stats.rejected == 1
+        assert cache.stats.current_bytes == 0
+
+
+class TestIntervalCoverage:
+    """FILE-granularity entries now carry a coverage interval (selective
+    mounts store partial batches); requests are served only by covering
+    entries, and re-storing wider coverage replaces narrower entries."""
+
+    def test_partial_entry_serves_only_covered_requests(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("f1", batch(), interval=(100, 500))
+        assert cache.contains("f1", (200, 400))
+        assert cache.contains("f1", (100, 500))
+        assert not cache.contains("f1", (50, 400))
+        assert not cache.contains("f1")  # whole-file request
+        assert cache.lookup("f1", (50, 400)) is None
+        assert cache.stats.misses == 1
+
+    def test_widen_on_remount_replaces_narrower_entry(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("f1", batch(4), interval=(100, 500))
+        cache.store("f1", batch(10), interval=WHOLE_FILE)
+        assert len(cache) == 1
+        assert cache.lookup("f1").num_rows == 10
+        assert cache.contains("f1", (50, 400))
+
+    def test_narrower_restore_is_noop(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("f1", batch(10), interval=WHOLE_FILE)
+        cache.store("f1", batch(4), interval=(100, 500))
+        assert len(cache) == 1
+        assert cache.lookup("f1").num_rows == 10  # wide entry kept
+
+    def test_disjoint_coverage_keeps_latest(self):
+        """FILE granularity holds one entry per URI: a non-covering,
+        non-subsumed re-store still replaces (coverage may shrink, but
+        accounting stays exact)."""
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("f1", batch(4), interval=(100, 500))
+        cache.store("f1", batch(5), interval=(600, 900))
+        assert len(cache) == 1
+        assert cache.contains("f1", (600, 900))
+        # The displaced disjoint entry must leave the byte accounting too.
+        assert cache.stats.current_bytes == batch(5).nbytes()
+
+
+class TestExactByteAccounting:
+    def test_store_widen_evict_invalidate_balance(self):
+        """current_bytes equals the sum of retained entries after every
+        mutation — stores, widen-replacements, evictions, invalidations."""
+        small, big = batch(4), batch(10)
+        capacity = small.nbytes() + big.nbytes()
+        cache = IngestionCache(CachePolicy.LRU, capacity_bytes=capacity)
+
+        cache.store("a", batch(4), interval=(100, 500))
+        assert cache.stats.current_bytes == small.nbytes()
+
+        cache.store("a", batch(10))  # widen: replaces, accounting swaps
+        assert cache.stats.current_bytes == big.nbytes()
+        assert len(cache) == 1
+
+        cache.store("b", batch(4))
+        assert cache.stats.current_bytes == big.nbytes() + small.nbytes()
+
+        cache.store("c", batch(10))  # evicts "a" (LRU) to fit
+        assert cache.stats.evictions >= 1
+        assert cache.stats.current_bytes <= capacity
+
+        dropped = cache.invalidate("c")
+        assert dropped == 1
+        assert cache.stats.current_bytes == small.nbytes()
+
+        cache.clear()
+        assert cache.stats.current_bytes == 0
+        assert len(cache) == 0
+
+    def test_rejected_store_leaves_accounting_untouched(self):
+        one = batch(4).nbytes()
+        cache = IngestionCache(CachePolicy.LRU, capacity_bytes=one)
+        cache.store("a", batch(4))
+        before = cache.stats.current_bytes
+        cache.store("huge", batch(100))
+        assert cache.stats.rejected == 1
+        assert cache.stats.current_bytes == before
+        assert cache.contains("a")  # nothing was evicted for the reject
 
 
 class TestConcurrency:

@@ -211,6 +211,85 @@ class TestStructuralDamage:
         assert all(f.error == "TruncatedFileError" for f in report.failures)
 
 
+# A window inside the first record only: with SPEC above each record spans
+# ~2.2 hours, so this selects record 0 and skips every later record of every
+# file of interest.
+NARROW_SQL = (
+    "SELECT COUNT(*), SUM(D.sample_value) "
+    "FROM F JOIN D ON F.uri = D.uri "
+    "WHERE D.sample_time >= '2010-01-10T00:10:00.000' "
+    "AND D.sample_time < '2010-01-10T01:10:00.000'"
+)
+
+
+class TestSelectiveMountingUnderDamage:
+    """Selective mounting must not *weaken* corruption detection for the
+    records a query touches — and damage inside records it skips must not
+    fail a query that never reads them."""
+
+    def test_damage_in_skipped_record_does_not_fail_narrow_query(self, repo):
+        victim = repo.uris()[0]
+        path = repo.path_of(victim)
+        executor = make_executor(repo)
+        expected = executor.execute(NARROW_SQL).rows
+
+        # Flip a payload byte deep in the file — inside a record the narrow
+        # window skips. Selective extraction never reads those bytes.
+        raw = bytearray(path.read_bytes())
+        last_offset = record_offsets(bytes(raw))[-1]
+        raw[last_offset + HEADER_SIZE + 5] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+        damaged = make_executor(repo)
+        result = damaged.execute(NARROW_SQL)
+        assert result.rows == expected
+        assert damaged.mounts.stats.records_skipped > 0
+
+    def test_truncated_tail_record_does_not_fail_narrow_query(self, repo):
+        """Truncation confined to the (skipped) last record: the byte map
+        seeks only to overlapping records, so the query still answers."""
+        victim = repo.uris()[0]
+        path = repo.path_of(victim)
+        executor = make_executor(repo)
+        expected = executor.execute(NARROW_SQL).rows
+
+        # Metadata was ingested while the file was healthy; the truncation
+        # lands after stage 1, confined to a record the window never reads.
+        pristine = path.read_bytes()
+        last_offset = record_offsets(pristine)[-1]
+        path.write_bytes(pristine[: last_offset + HEADER_SIZE + 3])
+
+        assert executor.execute(NARROW_SQL).rows == expected
+
+    def test_damage_in_touched_record_still_detected(self, repo):
+        """Selectivity must not skip validation of what it does read."""
+        victim = repo.uris()[0]
+        path = repo.path_of(victim)
+        raw = bytearray(path.read_bytes())
+        raw[HEADER_SIZE + 8] ^= 0xFF  # first record's payload: it IS read
+        path.write_bytes(bytes(raw))
+
+        executor = make_executor(repo)
+        with pytest.raises(FileIngestError) as excinfo:
+            executor.execute(NARROW_SQL)
+        assert excinfo.value.mount_uri == victim
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_skip_mode_answers_from_intact_records(self, repo, workers):
+        """skip-and-report with selective mounting: a file damaged in its
+        touched record is quarantined, the rest still answer."""
+        victim = repo.uris()[0]
+        path = repo.path_of(victim)
+        raw = bytearray(path.read_bytes())
+        raw[HEADER_SIZE + 8] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+        executor = make_executor(repo, workers, "skip")
+        result = executor.execute(NARROW_SQL)
+        assert result.timings.mount_failures.uris() == [victim]
+        assert result.rows[0][0] > 0  # intact files still contributed
+
+
 class TestWorkerEquivalence:
     def test_skip_results_identical_across_worker_counts(self, repo):
         """The degraded answer must be byte-identical for serial and

@@ -79,6 +79,104 @@ class TestIntervalExtraction:
         )
         assert interval_from_predicate(predicate, "d.sample_time") == (50, 700)
 
+    def test_or_of_ranges_stays_unbounded(self):
+        """An OR is not a conjunct: neither disjunct may narrow the hull
+        (each alone would wrongly exclude the other's rows)."""
+        predicate = BoolOp(
+            "or",
+            [
+                Comparison("<", time_ref(), ts_literal(100)),
+                Comparison(">", time_ref(), ts_literal(500)),
+            ],
+        )
+        assert interval_from_predicate(predicate, "d.sample_time") == (
+            -INF, INF,
+        )
+
+    def test_or_under_and_only_sibling_conjuncts_narrow(self):
+        disjunction = BoolOp(
+            "or",
+            [
+                Comparison("<", time_ref(), ts_literal(100)),
+                Comparison(">", time_ref(), ts_literal(500)),
+            ],
+        )
+        predicate = BoolOp(
+            "and",
+            [disjunction, Comparison("<=", time_ref(), ts_literal(900))],
+        )
+        assert interval_from_predicate(predicate, "d.sample_time") == (
+            -INF, 900,
+        )
+
+    def test_equality_on_non_timestamp_column_ignored(self):
+        """``=`` on a non-TIMESTAMP column must not pin the interval — only
+        TIMESTAMP bounds on the time key itself license record pruning.
+        (The expr layer already rejects `time = <int64 literal>` outright,
+        so the non-TIMESTAMP guard is exercised via other columns.)"""
+        predicate = BoolOp(
+            "and",
+            [
+                Comparison(
+                    "=",
+                    ColumnRef("d.record_id", DataType.INT64),
+                    Literal.infer(42),
+                ),
+                Comparison(
+                    "=",
+                    ColumnRef("d.station", DataType.STRING),
+                    Literal.infer("ISK"),
+                ),
+            ],
+        )
+        assert interval_from_predicate(predicate, "d.sample_time") == (
+            -INF, INF,
+        )
+
+    def test_time_to_time_comparison_ignored(self):
+        """A column-to-column comparison carries no literal bound."""
+        predicate = Comparison(
+            ">", time_ref(), ColumnRef("d.other_time", DataType.TIMESTAMP)
+        )
+        assert interval_from_predicate(predicate, "d.sample_time") == (
+            -INF, INF,
+        )
+
+    def test_contradictory_conjuncts_yield_empty_interval(self):
+        predicate = BoolOp(
+            "and",
+            [
+                Comparison(">", time_ref(), ts_literal(500)),
+                Comparison("<", time_ref(), ts_literal(100)),
+            ],
+        )
+        lo, hi = interval_from_predicate(predicate, "d.sample_time")
+        assert lo > hi  # empty: the branch can produce no rows
+
+    def test_empty_interval_short_circuits_without_touching_disk(
+        self, scratch_repo
+    ):
+        """A contradictory fused predicate answers empty even when the file
+        is gone from disk — proof the branch never opened it."""
+        service = MountService(
+            BindingSet.single(RepositoryBinding(scratch_repo)),
+            IngestionCache(CachePolicy.UNBOUNDED),
+        )
+        uri = scratch_repo.uris()[0]
+        scratch_repo.path_of(uri).unlink()
+        predicate = BoolOp(
+            "and",
+            [
+                Comparison(">", time_ref(), ts_literal(500)),
+                Comparison("<", time_ref(), ts_literal(100)),
+            ],
+        )
+        batch = service.mount_file(uri, "D", "d", predicate)
+        assert batch.num_rows == 0
+        assert service.stats.empty_interval_skips == 1
+        assert service.stats.mounts == 0
+        assert service.stats.bytes_read == 0
+
 
 @pytest.fixture()
 def service(tiny_repo):
@@ -291,6 +389,41 @@ class TestRetry:
         assert extractor.mount_calls == 1
         assert service.stats.retries == 0
 
+    def test_retry_deadline_cuts_the_ladder_short(self, tiny_repo):
+        """A backoff that would cross the wall-clock deadline gives up
+        immediately; the error still names the offending URI first."""
+        from repro.ingest.formats import FormatRegistry
+
+        extractor = FlakyExtractor(fail_times=100)
+        registry = FormatRegistry()
+        registry.register(extractor)
+        service = MountService(
+            BindingSet.single(RepositoryBinding(tiny_repo, registry=registry)),
+            IngestionCache(CachePolicy.DISCARD),
+            max_retries=100,
+            retry_backoff_seconds=0.05,
+            retry_deadline_seconds=0.04,
+        )
+        uri = tiny_repo.uris()[0]
+        with pytest.raises(FileIngestError) as excinfo:
+            service.mount_file(uri, "D", "d", None)
+        assert excinfo.value.uri == uri
+        assert service.stats.retry_deadline_hits == 1
+        # First backoff (50 ms) already crossed the 40 ms deadline: exactly
+        # one attempt, no sleeping.
+        assert extractor.mount_calls == 1
+        assert service.stats.retries == 0
+
+    def test_deadline_roomy_enough_still_retries(self, tiny_repo):
+        extractor = FlakyExtractor(fail_times=2)
+        service = _flaky_service(
+            tiny_repo, extractor, max_retries=5, retry_deadline_seconds=30.0
+        )
+        batch = service.mount_file(tiny_repo.uris()[0], "D", "d", None)
+        assert batch.num_rows > 0
+        assert service.stats.retries == 2
+        assert service.stats.retry_deadline_hits == 0
+
 
 class TestSkipAndReport:
     def corrupt(self, repo, uri):
@@ -439,7 +572,7 @@ class TestConcurrentExtraction:
                 barrier.wait(timeout=10)
                 for i in range(rounds):
                     uri = uris[(worker + i) % len(uris)]
-                    batch, _ = service._extract(uri, "D")
+                    batch = service._extract(uri, "D").batch
                     assert batch.num_rows > 0
             except Exception as exc:  # noqa: BLE001 - surfaced below
                 errors.append(exc)

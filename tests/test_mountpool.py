@@ -12,6 +12,7 @@ import time
 
 import pytest
 
+from repro.core.mounting import ExtractResult
 from repro.core.mountpool import MountPool, MountPoolTimings, MountTaskTiming
 from repro.db import Column, ColumnBatch, DataType
 from repro.db.errors import IngestError
@@ -24,6 +25,10 @@ def tagged_batch(uri):
     )
 
 
+def tagged_result(uri, io_seconds=0.0):
+    return ExtractResult(batch=tagged_batch(uri), io_seconds=io_seconds)
+
+
 class RecordingExtract:
     """An ExtractFn that records call order, threads, and concurrency."""
 
@@ -34,19 +39,21 @@ class RecordingExtract:
         self.unblock = threading.Event()
         self.calls = []
         self.threads = {}
+        self.requests = {}
         self._lock = threading.Lock()
 
-    def __call__(self, uri, table_name):
+    def __call__(self, uri, table_name, request=None):
         with self._lock:
             self.calls.append(uri)
             self.threads[uri] = threading.get_ident()
+            self.requests[uri] = request
         if uri in self.block_uris:
             assert self.unblock.wait(timeout=10), "extract left blocked"
         if self.delay:
             time.sleep(self.delay)
         if uri in self.fail_uris:
             raise IngestError(f"injected failure for {uri}")
-        return tagged_batch(uri), 0.008  # pretend one simulated seek
+        return tagged_result(uri, 0.008)  # pretend one simulated seek
 
 
 def keys(n):
@@ -60,7 +67,7 @@ def test_results_match_keys_in_plan_order(workers):
     with MountPool(extract, max_workers=workers) as pool:
         pool.prefetch(tasks)
         for table_name, uri in tasks:
-            batch = pool.take(uri, table_name)
+            batch = pool.take(uri, table_name).batch
             assert batch.column("tag").values[0] == hash(uri) % 10**9
     assert sorted(extract.calls) == sorted(uri for _, uri in tasks)
     assert pool.timings.files == 20
@@ -89,9 +96,9 @@ def test_single_flight_extracts_once_serves_every_take():
     extract = RecordingExtract()
     with MountPool(extract, max_workers=2) as pool:
         pool.prefetch([key, other, key])
-        first = pool.take(uri, table_name)
-        second = pool.take(other[1], other[0])
-        third = pool.take(uri, table_name)
+        first = pool.take(uri, table_name).batch
+        second = pool.take(other[1], other[0]).batch
+        third = pool.take(uri, table_name).batch
     assert extract.calls.count(uri) == 1
     assert first.column("tag").values[0] == third.column("tag").values[0]
     assert second.column("tag").values[0] == hash(other[1]) % 10**9
@@ -100,7 +107,7 @@ def test_single_flight_extracts_once_serves_every_take():
 def test_unprefetched_take_extracts_inline():
     extract = RecordingExtract()
     with MountPool(extract, max_workers=4) as pool:
-        batch = pool.take("surprise.xseed", "D")
+        batch = pool.take("surprise.xseed", "D").batch
     assert batch.num_rows == 1
     assert extract.threads["surprise.xseed"] == threading.get_ident()
 
@@ -113,13 +120,13 @@ def test_backpressure_bounds_unconsumed_batches():
     lock = threading.Lock()
     high_water = [0]
 
-    def extract(uri, table_name):
+    def extract(uri, table_name, request=None):
         with lock:
             produced.append(uri)
             high_water[0] = max(
                 high_water[0], len(produced) - len(consumed)
             )
-        return tagged_batch(uri), 0.0
+        return tagged_result(uri)
 
     tasks = keys(24)
     with MountPool(extract, max_workers=4, max_inflight=inflight) as pool:
@@ -161,7 +168,7 @@ def test_consumer_steals_when_workers_are_busy():
         deadline = time.monotonic() + 5
         while len(extract.calls) < 2 and time.monotonic() < deadline:
             time.sleep(0.001)
-        batch = pool.take(wanted[1], wanted[0])
+        batch = pool.take(wanted[1], wanted[0]).batch
         assert extract.threads[wanted[1]] == threading.get_ident()
         assert batch.num_rows == 1
         extract.unblock.set()
@@ -203,7 +210,7 @@ def test_skip_mode_poisons_only_the_failed_key(workers):
         failures = []
         for table_name, uri in tasks:
             try:
-                batch = pool.take(uri, table_name)
+                batch = pool.take(uri, table_name).batch
             except IngestError as exc:
                 failures.append((uri, exc))
                 continue
@@ -233,9 +240,9 @@ def test_skip_mode_serial_fallback():
 
 def test_invalid_configuration_rejected():
     with pytest.raises(ValueError):
-        MountPool(lambda u, t: (tagged_batch(u), 0.0), max_workers=0)
+        MountPool(lambda u, t, r=None: tagged_result(u), max_workers=0)
     with pytest.raises(ValueError):
-        MountPool(lambda u, t: (tagged_batch(u), 0.0), max_inflight=0)
+        MountPool(lambda u, t, r=None: tagged_result(u), max_inflight=0)
 
 
 def test_timings_critical_path_math():

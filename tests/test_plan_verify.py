@@ -109,6 +109,49 @@ def test_mount_predicate_outside_alias_rejected():
         verify_plan(mount, "ali-rewrite")
 
 
+def _timed_mount(interval, interval_column="sample_time"):
+    """A Mount whose fused predicate bounds d.sample_time to [100, 500]."""
+    time_ref = ColumnRef("d.sample_time", DataType.TIMESTAMP)
+    predicate = Comparison(
+        ">=", time_ref, Literal(100, DataType.TIMESTAMP)
+    )
+    upper = Comparison("<=", time_ref, Literal(500, DataType.TIMESTAMP))
+    from repro.db.expr import BoolOp
+
+    return Mount(
+        uri="2010/x.xseed",
+        table_name="D",
+        alias="d",
+        output=[
+            ("d.sample_time", DataType.TIMESTAMP),
+            ("d.sample_value", DataType.FLOAT64),
+        ],
+        predicate=BoolOp("and", [predicate, upper]),
+        interval=interval,
+        interval_column=interval_column,
+    )
+
+
+def test_mount_interval_narrower_than_hull_rejected():
+    """The pruning interval must cover the fused predicate's hull: a
+    narrower one would let extraction skip records the predicate selects."""
+    with pytest.raises(PlanInvariantError, match="narrower"):
+        verify_plan(_timed_mount((200, 500)), "ali-rewrite")
+    with pytest.raises(PlanInvariantError, match="narrower"):
+        verify_plan(_timed_mount((100, 400)), "ali-rewrite")
+
+
+def test_mount_interval_covering_hull_accepted():
+    verify_plan(_timed_mount((100, 500)), "ali-rewrite")
+    verify_plan(_timed_mount((0, 1000)), "ali-rewrite")  # wider is safe
+
+
+def test_mount_interval_without_column_rejected():
+    with pytest.raises(PlanInvariantError, match="interval_column"):
+        verify_plan(_timed_mount((100, 500), interval_column=None),
+                    "ali-rewrite")
+
+
 def test_pass_schema_change_rejected():
     before = _scan("f")
     after = Scan("F", "f", [("f.uri", STR)])  # dropped a column

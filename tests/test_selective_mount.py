@@ -1,0 +1,326 @@
+"""Record-granular selective mounting (perf tentpole).
+
+Covers the full request flow — rule (1) intervals on plan nodes, the
+executor's R-table byte map, :meth:`MountService.request_for`, the
+extractors' ``mount_selective``, and the interval-aware ingestion cache —
+plus the volume-level selective read's staleness and truncation behavior.
+Equivalence is the headline: a narrow-window query must return byte-identical
+rows whether mounting is selective or whole-file, serial or pooled, cached
+or not.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    CacheGranularity,
+    CachePolicy,
+    IngestionCache,
+    MountService,
+    TwoStageExecutor,
+)
+from repro.db import Database
+from repro.db.errors import StaleFileError, TruncatedFileError
+from repro.db.interval import INF, WHOLE_FILE
+from repro.ingest import RepositoryBinding, lazy_ingest_metadata
+from repro.ingest.formats import MountRequest, RecordSpan, spans_from_record_rows
+from repro.ingest.schema import BindingSet
+from repro.ingest.xseed_format import XSeedExtractor
+from repro.mseed import (
+    FileRepository,
+    RepositorySpec,
+    generate_repository,
+    read_selected_records,
+)
+
+# Day-long files of 96 records each: dense enough that a 30-minute window
+# touches ~3% of every file's records, so record pruning (not file pruning)
+# carries the reduction.
+DENSE_SPEC = RepositorySpec(
+    stations=("ISK", "ANK"),
+    channels=("BHE",),
+    days=1,
+    sample_rate=0.2,
+    samples_per_record=180,
+)
+
+NARROW_SQL = (
+    "SELECT D.uri, D.sample_time, D.sample_value "
+    "FROM F JOIN D ON F.uri = D.uri "
+    "WHERE D.sample_time >= '2010-01-10T10:00:00.000' "
+    "AND D.sample_time < '2010-01-10T10:30:00.000' "
+    "ORDER BY D.uri, D.sample_time"
+)
+
+WIDE_SQL = (
+    "SELECT COUNT(*) AS n, AVG(D.sample_value) AS a "
+    "FROM F JOIN D ON F.uri = D.uri "
+    "WHERE D.sample_time >= '2010-01-10T06:00:00.000' "
+    "AND D.sample_time < '2010-01-10T18:00:00.000'"
+)
+
+
+@pytest.fixture(scope="module")
+def dense_repo(tmp_path_factory) -> FileRepository:
+    root = tmp_path_factory.mktemp("dense_repo")
+    generate_repository(root, DENSE_SPEC)
+    return FileRepository(root)
+
+
+def make_executor(repo, *, selective=True, workers=1, cache=None):
+    db = Database()
+    lazy_ingest_metadata(db, repo)
+    return TwoStageExecutor(
+        db,
+        RepositoryBinding(repo),
+        cache=cache,
+        mount_workers=workers,
+        selective_mounts=selective,
+    )
+
+
+class TestEquivalence:
+    def test_identical_rows_across_all_configurations(self, dense_repo):
+        """selective on/off x workers 1/4 x cache retained/discarded."""
+        baseline = None
+        for selective, workers, policy in itertools.product(
+            (False, True), (1, 4), (CachePolicy.DISCARD, CachePolicy.UNBOUNDED)
+        ):
+            executor = make_executor(
+                dense_repo,
+                selective=selective,
+                workers=workers,
+                cache=IngestionCache(policy),
+            )
+            rows = executor.execute(NARROW_SQL).rows
+            assert rows, "narrow window unexpectedly empty"
+            if baseline is None:
+                baseline = rows
+            assert rows == baseline, (
+                f"answer drifted at selective={selective}, workers={workers}, "
+                f"cache={policy}"
+            )
+
+    def test_cached_rerun_matches_and_uses_cache_scans(self, dense_repo):
+        executor = make_executor(
+            dense_repo, cache=IngestionCache(CachePolicy.UNBOUNDED)
+        )
+        first = executor.execute(NARROW_SQL).rows
+        mounts_after_first = executor.mounts.stats.mounts
+        second = executor.execute(NARROW_SQL).rows
+        assert second == first
+        # The covering entries served the identical request: no re-mounts.
+        assert executor.mounts.stats.mounts == mounts_after_first
+        assert executor.mounts.stats.cache_scans > 0
+
+    def test_wider_query_remounts_and_widens_coverage(self, dense_repo):
+        """A narrow mount's cache entry must not serve a wider request."""
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        executor = make_executor(dense_repo, cache=cache)
+        narrow = executor.execute(NARROW_SQL).rows
+        full_ex = make_executor(dense_repo, selective=False)
+        assert executor.execute(WIDE_SQL).rows == full_ex.execute(WIDE_SQL).rows
+        # Widen-on-remount: still one entry per file, now with the wider
+        # coverage — and the narrow query is served from it.
+        assert len(cache) == len(dense_repo.uris())
+        mounts_before = executor.mounts.stats.mounts
+        assert executor.execute(NARROW_SQL).rows == narrow
+        assert executor.mounts.stats.mounts == mounts_before
+
+
+class TestAccounting:
+    def test_bytes_and_decodes_cut_at_least_5x(self, dense_repo):
+        full = make_executor(dense_repo, selective=False)
+        full.execute(NARROW_SQL)
+        sel = make_executor(dense_repo, selective=True)
+        sel.execute(NARROW_SQL)
+        assert sel.mounts.stats.selective_mounts == sel.mounts.stats.mounts
+        assert sel.mounts.stats.records_skipped > 0
+        assert full.mounts.stats.bytes_read >= 5 * sel.mounts.stats.bytes_read
+        assert (
+            full.mounts.stats.records_decoded
+            >= 5 * sel.mounts.stats.records_decoded
+        )
+
+    def test_selective_bytes_match_span_lengths_exactly(self, dense_repo):
+        """bytes_read charges exactly the byte ranges of selected records."""
+        uri = dense_repo.uris()[0]
+        path = dense_repo.path_of(uri)
+        extractor = XSeedExtractor()
+        meta = extractor.extract_metadata(path, uri)
+        spans = spans_from_record_rows(meta.record_rows)
+        overlapping = [
+            s for s in spans
+            if s.start_time <= spans[2].end_time  # first three records
+        ]
+        interval = (spans[0].start_time, spans[2].end_time)
+        selected = read_selected_records(path, interval, uri=uri, spans=spans)
+        assert selected.bytes_read == sum(s.byte_length for s in overlapping)
+        assert selected.records_decoded == len(overlapping)
+        assert selected.records_skipped == len(spans) - len(overlapping)
+
+    def test_header_walk_fallback_skips_payloads(self, dense_repo):
+        """Without a byte map the walk still never reads skipped payloads."""
+        uri = dense_repo.uris()[0]
+        path = dense_repo.path_of(uri)
+        extractor = XSeedExtractor()
+        meta = extractor.extract_metadata(path, uri)
+        spans = spans_from_record_rows(meta.record_rows)
+        interval = (spans[0].start_time, spans[0].end_time)
+        walked = read_selected_records(path, interval, uri=uri)
+        mapped = read_selected_records(path, interval, uri=uri, spans=spans)
+        assert [rid for rid, _ in walked.records] == [
+            rid for rid, _ in mapped.records
+        ]
+        # The walk pays 64 bytes per header on top of the selected payloads,
+        # but far less than the whole file.
+        assert walked.bytes_read > mapped.bytes_read
+        assert walked.bytes_read < path.stat().st_size
+
+
+class TestStaleByteMap:
+    def _spans(self, repo, uri):
+        extractor = XSeedExtractor()
+        meta = extractor.extract_metadata(repo.path_of(uri), uri)
+        return spans_from_record_rows(meta.record_rows)
+
+    def test_drifted_start_time_raises_stale(self, dense_repo):
+        uri = dense_repo.uris()[0]
+        spans = list(self._spans(dense_repo, uri))
+        bad = spans[1]
+        spans[1] = RecordSpan(
+            record_id=bad.record_id,
+            byte_offset=bad.byte_offset,
+            byte_length=bad.byte_length,
+            start_time=bad.start_time + 1,  # metadata drifted vs the file
+            end_time=bad.end_time + 1,
+        )
+        with pytest.raises(StaleFileError):
+            read_selected_records(
+                dense_repo.path_of(uri),
+                (spans[1].start_time, spans[1].end_time),
+                uri=uri,
+                spans=spans,
+            )
+
+    def test_span_beyond_file_size_raises_truncated(self, dense_repo):
+        uri = dense_repo.uris()[0]
+        path = dense_repo.path_of(uri)
+        spans = list(self._spans(dense_repo, uri))
+        last = spans[-1]
+        spans[-1] = RecordSpan(
+            record_id=last.record_id,
+            byte_offset=last.byte_offset + 10,  # runs past end of file
+            byte_length=last.byte_length,
+            start_time=last.start_time,
+            end_time=last.end_time,
+        )
+        with pytest.raises(TruncatedFileError):
+            read_selected_records(
+                path, (last.start_time, last.end_time), uri=uri, spans=spans
+            )
+
+    def test_service_surfaces_stale_map_with_uri(self, dense_repo):
+        """A stale map through the whole mount path names the file."""
+        uri = dense_repo.uris()[0]
+        spans = list(self._spans(dense_repo, uri))
+        first = spans[0]
+        spans[0] = RecordSpan(
+            record_id=first.record_id,
+            byte_offset=first.byte_offset,
+            byte_length=first.byte_length,
+            start_time=first.start_time - 7,
+            end_time=first.end_time - 7,
+        )
+        service = MountService(
+            BindingSet.single(RepositoryBinding(dense_repo)),
+            IngestionCache(CachePolicy.DISCARD),
+            record_map_provider=lambda u, t: tuple(spans),
+        )
+        request = MountRequest(
+            interval=(first.start_time - 7, first.end_time - 7),
+            records=tuple(spans),
+        )
+        with pytest.raises(StaleFileError) as excinfo:
+            service._extract(uri, "D", request)
+        assert excinfo.value.uri == uri
+
+
+class TestEmptyInterval:
+    CONTRADICTORY_SQL = (
+        "SELECT COUNT(*) AS n FROM F JOIN D ON F.uri = D.uri "
+        "WHERE D.sample_time > '2010-01-10T12:00:00.000' "
+        "AND D.sample_time < '2010-01-10T06:00:00.000'"
+    )
+
+    def test_contradictory_predicate_never_touches_disk(self, dense_repo):
+        executor = make_executor(dense_repo)
+        result = executor.execute(self.CONTRADICTORY_SQL)
+        assert result.rows == [(0,)]
+        assert executor.mounts.stats.mounts == 0
+        assert executor.mounts.stats.bytes_read == 0
+
+    def test_contradictory_predicate_survives_missing_file(
+        self, tmp_path
+    ):
+        """The pruned branch is never extracted, so even a deleted file
+        cannot fail a query that selects nothing from it."""
+        generate_repository(tmp_path, DENSE_SPEC)
+        repo = FileRepository(tmp_path)
+        db = Database()
+        lazy_ingest_metadata(db, repo)
+        for uri in repo.uris():
+            repo.path_of(uri).unlink()
+        executor = TwoStageExecutor(db, RepositoryBinding(repo))
+        result = executor.execute(self.CONTRADICTORY_SQL)
+        assert result.rows == [(0,)]
+
+
+class TestRequestFor:
+    def test_unbounded_predicate_yields_no_request(self, dense_repo):
+        service = MountService(
+            BindingSet.single(RepositoryBinding(dense_repo)),
+            IngestionCache(CachePolicy.DISCARD),
+        )
+        assert service.request_for("u", "D", "d", None) is None
+
+    def test_selective_disabled_yields_no_request(self, dense_repo):
+        service = MountService(
+            BindingSet.single(RepositoryBinding(dense_repo)),
+            IngestionCache(CachePolicy.DISCARD),
+            selective=False,
+        )
+        from repro.db.expr import ColumnRef, Comparison, Literal
+        from repro.db.types import DataType
+
+        predicate = Comparison(
+            ">",
+            ColumnRef("d.sample_time", DataType.TIMESTAMP),
+            Literal(10, DataType.TIMESTAMP),
+        )
+        assert service.request_for("u", "D", "d", predicate) is None
+
+    def test_request_semantics(self):
+        assert MountRequest().selects_all
+        assert not MountRequest().selects_nothing
+        empty = MountRequest(interval=(10, 5))
+        assert empty.selects_nothing
+        bounded = MountRequest(interval=(100, 200))
+        assert not bounded.selects_all
+        assert bounded.wants(150, 250)
+        assert bounded.wants(200, 300)  # closed bounds
+        assert not bounded.wants(201, 300)
+        assert MountRequest(interval=(-INF, INF)).interval == WHOLE_FILE
+
+
+class TestTupleGranularityStillWorks:
+    def test_tuple_cache_with_selective_mounting(self, dense_repo):
+        cache = IngestionCache(CachePolicy.UNBOUNDED, CacheGranularity.TUPLE)
+        executor = make_executor(dense_repo, cache=cache)
+        first = executor.execute(NARROW_SQL).rows
+        second = executor.execute(NARROW_SQL).rows
+        assert first == second
+        assert executor.mounts.stats.cache_scans > 0
