@@ -17,7 +17,7 @@ import sys
 import time
 from typing import Optional, Sequence
 
-from .core import TwoStageExecutor
+from .core import QueryBudget, TwoStageExecutor
 from .db import Database, DatabaseError
 from .ingest import RepositoryBinding, eager_ingest, lazy_ingest_metadata
 from .mseed import FileRepository, RepositorySpec, generate_repository
@@ -96,6 +96,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable record-granular selective mounting: always read and "
         "decode whole files even when the fused predicate bounds the time "
         "interval (repo mode only)",
+    )
+    query.add_argument(
+        "--deadline-seconds", type=float, default=None, metavar="S",
+        help="wall-clock budget for the whole query: mounting, retries and "
+        "the kernel loop all stop within milliseconds of the deadline "
+        "(repo mode only)",
+    )
+    query.add_argument(
+        "--max-mount-bytes", type=_positive_int, default=None, metavar="B",
+        help="cap on bytes mounted off the repository by one query "
+        "(repo mode only)",
+    )
+    query.add_argument(
+        "--max-decoded-records", type=_positive_int, default=None,
+        metavar="N",
+        help="cap on records decoded by one query (repo mode only)",
+    )
+    query.add_argument(
+        "--on-budget", choices=("raise", "partial"), default="raise",
+        help="what exhausting a budget does: raise = abort with a typed "
+        "error (default); partial = answer from the tuples produced so "
+        "far and report the truncation",
     )
     query.add_argument(
         "--verify-plans", action="store_true",
@@ -193,12 +215,25 @@ def _cmd_query(args: argparse.Namespace) -> int:
     repo = FileRepository(args.repo, suffix=(".xseed", ".tscsv"))
     db = Database(verify_plans=True if args.verify_plans else None)
     lazy_ingest_metadata(db, repo)
+    budget = None
+    if (
+        args.deadline_seconds is not None
+        or args.max_mount_bytes is not None
+        or args.max_decoded_records is not None
+    ):
+        budget = QueryBudget(
+            deadline_seconds=args.deadline_seconds,
+            max_mount_bytes=args.max_mount_bytes,
+            max_decoded_records=args.max_decoded_records,
+            on_budget=args.on_budget,
+        )
     executor = TwoStageExecutor(
         db,
         RepositoryBinding(repo),
         mount_workers=args.mount_workers,
         on_mount_error=args.on_mount_error,
         selective_mounts=not args.no_selective_mounts,
+        budget=budget,
     )
     if args.explain:
         print(executor.explain(args.sql))
@@ -226,6 +261,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
     if timings.mount_failures:
         print(f"warning: {timings.mount_failures.describe()}", file=sys.stderr)
+    if outcome.truncation is not None:
+        print(f"warning: {outcome.truncation.describe()}", file=sys.stderr)
     return 0
 
 

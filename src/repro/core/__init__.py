@@ -24,6 +24,16 @@ from .executor import (
     TwoStageExecutor,
     TwoStageResult,
 )
+from .governor import (
+    CancellationToken,
+    CircuitBreaker,
+    ON_BUDGET_PARTIAL,
+    ON_BUDGET_POLICIES,
+    ON_BUDGET_RAISE,
+    QueryBudget,
+    QueryGovernor,
+    TruncationReport,
+)
 from .informativeness import (
     AbortAboveCost,
     CallbackPolicy,
@@ -80,6 +90,14 @@ __all__ = [
     "AbortAboveCost",
     "LimitFilesAboveCost",
     "CallbackPolicy",
+    "CancellationToken",
+    "CircuitBreaker",
+    "ON_BUDGET_PARTIAL",
+    "ON_BUDGET_POLICIES",
+    "ON_BUDGET_RAISE",
+    "QueryBudget",
+    "QueryGovernor",
+    "TruncationReport",
     "MountService",
     "MountStats",
     "MountFailure",

@@ -40,6 +40,13 @@ from .breakpoint import BreakpointInfo
 from .cache import INF, IngestionCache
 from .decompose import Decomposition, decompose, _replace_subtree
 from .executor_util import batch_from_rows
+from .governor import (
+    CancellationToken,
+    CircuitBreaker,
+    QueryBudget,
+    QueryGovernor,
+    TruncationReport,
+)
 from .informativeness import (
     CostModel,
     DestinyAction,
@@ -124,13 +131,19 @@ class StageTimings:
 
 @dataclass
 class TwoStageResult:
-    """A query answer plus everything the breakpoint learned."""
+    """A query answer plus everything the breakpoint learned.
+
+    ``truncation`` is non-None when an ``on_budget="partial"`` budget
+    tripped mid-execution: the rows are the tuples produced before the
+    trip, and the report says how much was left on the table.
+    """
 
     result: QueryResult
     breakpoint: BreakpointInfo
     decomposition: Decomposition
     timings: StageTimings = field(default_factory=StageTimings)
     approximate: bool = False
+    truncation: Optional[TruncationReport] = None
 
     @property
     def rows(self) -> list[tuple[Any, ...]]:
@@ -169,6 +182,8 @@ class TwoStageExecutor:
         on_mount_error: str = FAIL_FAST,
         verify_plans: Optional[bool] = None,
         selective_mounts: bool = True,
+        budget: Optional[QueryBudget] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if isinstance(bindings, RepositoryBinding):
             bindings = BindingSet.single(bindings)
@@ -210,6 +225,13 @@ class TwoStageExecutor:
         self.verify_plans = (
             db.verify_plans if verify_plans is None else verify_plans
         )
+        # Session defaults for governance: `budget` applies to every
+        # execute() unless that call passes its own; the breaker is shared
+        # by every query this executor runs (that is its whole point).
+        self.budget = budget
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.mounts.breaker = self.breaker
+        self._governor: Optional[QueryGovernor] = None
         if derived is not None:
             self.mounts.add_mount_callback(derived.on_mount)
 
@@ -252,7 +274,9 @@ class TwoStageExecutor:
 
     # -- execution ------------------------------------------------------------------
 
-    def make_mount_pool(self) -> MountPool:
+    def make_mount_pool(
+        self, token: Optional[CancellationToken] = None
+    ) -> MountPool:
         """A fresh per-query mount pool over this executor's mount service.
 
         :class:`~repro.core.multistage.MultiStageExecutor` reuses this so
@@ -263,16 +287,76 @@ class TwoStageExecutor:
             max_workers=self.mount_workers,
             max_inflight=self.mount_inflight,
             fail_fast=self.mounts.on_error != SKIP_AND_REPORT,
+            token=token,
         )
 
-    def execute(self, sql: str) -> TwoStageResult:
+    def begin_governed(
+        self,
+        budget: Optional[QueryBudget],
+        cancellation: Optional[CancellationToken],
+    ) -> QueryGovernor:
+        """Arm a governor for one execution and wire it into the mount path.
+
+        Shared by :meth:`execute` and the multi-stage executor; pair with
+        :meth:`end_governed` in a ``finally``.
+        """
+        governor = QueryGovernor(
+            budget if budget is not None else self.budget,
+            token=cancellation,
+        )
+        self._governor = governor
+        self.mounts.governor = governor
+        self.mounts.cancellation = governor.token
+        return governor
+
+    def end_governed(self, governor: QueryGovernor) -> None:
+        governor.close()
+        self.mounts.governor = None
+        self.mounts.cancellation = CancellationToken()
+        self._governor = None
+
+    def cancel(self, reason: str = "query cancelled by caller") -> bool:
+        """Cancel the in-flight execution, if any; True when one was live.
+
+        Thread-safe: meant to be called from another thread (a UI, a
+        watchdog) while :meth:`execute` runs.
+        """
+        governor = self._governor
+        if governor is None:
+            return False
+        governor.token.cancel(reason)
+        return True
+
+    def execute(
+        self,
+        sql: str,
+        budget: Optional[QueryBudget] = None,
+        cancellation: Optional[CancellationToken] = None,
+    ) -> TwoStageResult:
+        """Run one query under the governor.
+
+        ``budget`` overrides the session default for this call;
+        ``cancellation`` lets the caller hold the token (to cancel from
+        another thread). Exceeding the budget raises
+        :class:`~repro.db.errors.QueryBudgetExceeded`, or truncates with a
+        report under ``on_budget="partial"``.
+        """
+        governor = self.begin_governed(budget, cancellation)
+        try:
+            return self._execute_governed(sql, governor)
+        finally:
+            self.end_governed(governor)
+
+    def _execute_governed(
+        self, sql: str, governor: QueryGovernor
+    ) -> TwoStageResult:
         timings = StageTimings()
         self.mounts.reset_failures()  # quarantine is per query
         started = time.perf_counter()
         decomposition = self.prepare(sql)
         timings.compile_seconds = time.perf_counter() - started
 
-        ctx = self.db.make_context(mounter=self.mounts)
+        ctx = self.db.make_context(mounter=self.mounts, governor=governor)
         breakpoint_info = BreakpointInfo()
         io_parts: list[IoStats] = []
 
@@ -283,7 +367,10 @@ class TwoStageExecutor:
             timings.stage1_seconds = result.elapsed_cpu
             breakpoint_info.stage1_rows = result.num_rows
             breakpoint_info.stage1_seconds = result.elapsed_cpu
-            return TwoStageResult(result, breakpoint_info, decomposition, timings)
+            return TwoStageResult(
+                result, breakpoint_info, decomposition, timings,
+                truncation=governor.truncation_report(),
+            )
 
         # Stage 1: the metadata branch.
         if decomposition.qf is not None:
@@ -342,6 +429,7 @@ class TwoStageExecutor:
                 return TwoStageResult(
                     derived_result, breakpoint_info, decomposition, timings,
                     approximate=approximate,
+                    truncation=governor.truncation_report(),
                 )
 
         # Run-time optimization: rewrite rule (1).
@@ -362,7 +450,7 @@ class TwoStageExecutor:
         # Stage 2: mounts happen here, inside the plan. Both strategies
         # dispatch their mount branches through a MountPool — serial when
         # mount_workers == 1, fanned out to a thread pool otherwise.
-        pool = self.make_mount_pool()
+        pool = self.make_mount_pool(token=governor.token)
         self.mounts.pool = pool
         try:
             pool.prefetch(
@@ -377,6 +465,9 @@ class TwoStageExecutor:
                     )
                     for node in rewritten.walk()
                     if isinstance(node, Mount)
+                    # Don't spend workers on files the breaker will refuse
+                    # at mount time anyway (mount_file stays authoritative).
+                    and not self.breaker.likely_blocked(node.uri)
                 ]
             )
             if self.strategy == PER_FILE:
@@ -401,6 +492,7 @@ class TwoStageExecutor:
         return TwoStageResult(
             combined, breakpoint_info, decomposition, timings,
             approximate=approximate,
+            truncation=governor.truncation_report(),
         )
 
     # -- breakpoint helpers ----------------------------------------------------------

@@ -1,0 +1,499 @@
+"""The query governor — deadlines, budgets, cancellation, circuit breaking.
+
+The paper's §5 "query destiny" lets the scientist bound or abort a query at
+the inter-stage breakpoint; this module extends that control *into* stage 2,
+so no query can run, sleep, or retry unboundedly once mounting has started:
+
+* :class:`QueryBudget` — declarative limits for one execution: a wall-clock
+  deadline, a cap on bytes mounted off the repository, and a cap on records
+  decoded. ``on_budget`` picks what exhaustion means: ``"raise"`` aborts
+  with :class:`~repro.db.errors.QueryBudgetExceeded`; ``"partial"`` stops
+  mounting and answers from the tuples produced so far, disclosed through a
+  :class:`TruncationReport` on the result.
+* :class:`CancellationToken` — one :class:`threading.Event` plus callbacks,
+  shared by every thread a query touches. The kernel loop checks it between
+  operators, mount-pool workers observe it through their waits, and the
+  retry ladder's backoff waits *on* it — cancellation latency is bounded by
+  the longest single read, not by sleeps or poll intervals.
+* :class:`QueryGovernor` — one per ``execute()`` call; owns the budget and
+  the token, arms a timer that fires the token at the deadline (waking every
+  blocked wait immediately), and keeps the byte/record ledger the budget is
+  charged against.
+* :class:`CircuitBreaker` — session-scoped generalization of the per-query
+  quarantine: a per-URI failure score that survives across queries. After
+  ``failure_threshold`` failures the circuit opens and mounts of that URI
+  are refused outright (no retry ladder spent); after ``cooldown_seconds``
+  one half-open probe is allowed through, and its outcome re-closes or
+  re-opens the circuit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..db.errors import (
+    CircuitOpenError,
+    QueryBudgetExceeded,
+    QueryCancelledError,
+)
+
+# What exhausting a budget does to the query.
+ON_BUDGET_RAISE = "raise"  # abort with QueryBudgetExceeded (default)
+ON_BUDGET_PARTIAL = "partial"  # answer from tuples-so-far + TruncationReport
+
+ON_BUDGET_POLICIES = (ON_BUDGET_RAISE, ON_BUDGET_PARTIAL)
+
+# Why a token fired.
+_CANCELLED = "cancelled"  # caller-initiated
+_EXPIRED = "expired"  # budget/deadline-initiated
+
+
+class CancellationToken:
+    """Cooperative cancellation, shared across every thread of one query.
+
+    The token is a latch: once fired it stays fired. Long waits must wait on
+    :meth:`wait` (the underlying event) instead of sleeping, and loops must
+    call :meth:`raise_if_interrupted` at their boundaries. :meth:`on_cancel`
+    callbacks run on the firing thread — the mount pool registers its
+    ``cancel_outstanding`` there so blocked workers wake in O(ms).
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._outcome: Optional[str] = None
+        self._reason: str = ""
+        self._callbacks: list[Callable[[], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> str:
+        return self._reason
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the token fires or ``timeout`` elapses; True if fired.
+
+        This is the interruptible replacement for ``time.sleep`` in retry
+        backoff and fault-injected latency: a fired token cuts the wait
+        short immediately.
+        """
+        return self._event.wait(timeout)
+
+    def cancel(self, reason: str = "query cancelled by caller") -> None:
+        """Caller-initiated cancellation (always raises, never truncates)."""
+        self._fire(_CANCELLED, reason)
+
+    def expire(self, reason: str) -> None:
+        """Budget-initiated firing (the governor's deadline timer)."""
+        self._fire(_EXPIRED, reason)
+
+    def _fire(self, outcome: str, reason: str) -> None:
+        with self._lock:
+            if self._outcome is not None:
+                return  # first firing wins; the latch never resets
+            self._outcome = outcome
+            self._reason = reason
+            callbacks = list(self._callbacks)
+        self._event.set()
+        for callback in callbacks:
+            callback()
+
+    def on_cancel(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when the token fires (immediately if it has)."""
+        with self._lock:
+            if self._outcome is None:
+                self._callbacks.append(callback)
+                return
+        callback()
+
+    def interruption(self) -> Optional[Exception]:
+        """The typed error this firing means, or None while unfired.
+
+        A fresh exception per call — the token may be observed concurrently
+        from several threads, and exceptions are mutable (tracebacks).
+        """
+        outcome = self._outcome
+        if outcome is None:
+            return None
+        if outcome is _CANCELLED:
+            return QueryCancelledError(self._reason)
+        return QueryBudgetExceeded(self._reason)
+
+    def raise_if_interrupted(self) -> None:
+        exc = self.interruption()
+        if exc is not None:
+            raise exc
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """Declarative limits for one query execution (None = unlimited)."""
+
+    deadline_seconds: Optional[float] = None
+    max_mount_bytes: Optional[int] = None
+    max_decoded_records: Optional[int] = None
+    on_budget: str = ON_BUDGET_RAISE
+
+    def __post_init__(self) -> None:
+        if self.on_budget not in ON_BUDGET_POLICIES:
+            raise ValueError(
+                f"on_budget must be one of {ON_BUDGET_POLICIES}, "
+                f"got {self.on_budget!r}"
+            )
+        for name in ("deadline_seconds", "max_mount_bytes", "max_decoded_records"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+
+    @property
+    def bounded(self) -> bool:
+        return (
+            self.deadline_seconds is not None
+            or self.max_mount_bytes is not None
+            or self.max_decoded_records is not None
+        )
+
+
+@dataclass(frozen=True)
+class TruncationReport:
+    """How much of the query a tripped budget left unanswered.
+
+    Attached to ``TwoStageResult.truncation`` / ``MultiStageResult.truncation``
+    under the ``on_budget="partial"`` policy — the degraded-answer disclosure,
+    mirroring :class:`~repro.core.mounting.MountFailureReport` for skips.
+    """
+
+    reason: str
+    elapsed_seconds: float
+    bytes_mounted: int
+    records_decoded: int
+    mounts_completed: int
+    mounts_truncated: int  # branches answered empty after the trip
+
+    def describe(self) -> str:
+        return (
+            f"answer truncated: {self.reason} "
+            f"(after {self.elapsed_seconds:.3f}s, "
+            f"{self.mounts_completed} mount(s) completed, "
+            f"{self.mounts_truncated} skipped, "
+            f"{self.bytes_mounted:,} bytes, "
+            f"{self.records_decoded:,} records decoded)"
+        )
+
+
+class QueryGovernor:
+    """Per-execution budget enforcement and cancellation fan-out.
+
+    One governor serves one ``execute()`` call. It owns (or adopts) the
+    query's :class:`CancellationToken`, arms a daemon timer that *expires*
+    the token at the wall deadline — waking every event-based wait at once —
+    and keeps the mounted-bytes / decoded-records ledger.
+
+    Checkpoints (:meth:`checkpoint`) are placed between physical operators,
+    at mount branch entry, and at multi-stage batch boundaries; they are a
+    couple of attribute reads when nothing has fired, so the hot path stays
+    hot. Charging (:meth:`charge_mount`) happens once per completed
+    extraction, on the consuming side.
+    """
+
+    def __init__(
+        self,
+        budget: Optional[QueryBudget] = None,
+        token: Optional[CancellationToken] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.budget = budget if budget is not None else QueryBudget()
+        self.token = token if token is not None else CancellationToken()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started = clock()
+        self._deadline_at: Optional[float] = None
+        self._trip_reason: Optional[str] = None
+        self.bytes_mounted = 0
+        self.records_decoded = 0
+        self.mounts_completed = 0
+        self.mounts_truncated = 0
+        self._timer: Optional[threading.Timer] = None
+        if self.budget.deadline_seconds is not None:
+            self._deadline_at = self._started + self.budget.deadline_seconds
+            self._timer = threading.Timer(
+                self.budget.deadline_seconds, self._deadline_fired
+            )
+            self._timer.daemon = True
+            self._timer.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Disarm the deadline timer (executor calls this in its finally)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def partial(self) -> bool:
+        """True when exhaustion truncates instead of raising."""
+        return self.budget.on_budget == ON_BUDGET_PARTIAL
+
+    @property
+    def tripped(self) -> bool:
+        return self._trip_reason is not None
+
+    @property
+    def trip_reason(self) -> Optional[str]:
+        return self._trip_reason
+
+    @property
+    def should_truncate(self) -> bool:
+        """True once a tripped budget should empty the remaining branches."""
+        return self.tripped and self.partial
+
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    # -- enforcement ---------------------------------------------------------
+
+    def _trip(self, reason: str) -> None:
+        with self._lock:
+            if self._trip_reason is None:
+                self._trip_reason = reason
+
+    def _deadline_fired(self) -> None:
+        reason = (
+            f"wall deadline of {self.budget.deadline_seconds}s exceeded"
+        )
+        self._trip(reason)
+        self.token.expire(reason)
+
+    def checkpoint(self) -> None:
+        """Enforce the budget at a safe point.
+
+        Caller cancellation always raises. A tripped budget raises under
+        ``on_budget="raise"`` and merely stays tripped under ``"partial"``
+        (the mount layer then answers remaining branches empty).
+        """
+        if self.token.fired:
+            exc = self.token.interruption()
+            if isinstance(exc, QueryCancelledError):
+                raise exc
+        if (
+            self._deadline_at is not None
+            and not self.tripped
+            and self._clock() >= self._deadline_at
+        ):
+            # The timer thread may lag; the clock is authoritative.
+            self._deadline_fired()
+        if self.tripped and not self.partial:
+            raise QueryBudgetExceeded(
+                str(self._trip_reason), self.truncation_report()
+            )
+
+    def charge_mount(self, bytes_read: int, records_decoded: int) -> None:
+        """Account one completed extraction against the budget."""
+        with self._lock:
+            self.bytes_mounted += bytes_read
+            self.records_decoded += records_decoded
+            self.mounts_completed += 1
+        budget = self.budget
+        if (
+            budget.max_mount_bytes is not None
+            and self.bytes_mounted > budget.max_mount_bytes
+        ):
+            self._trip(
+                f"mounted {self.bytes_mounted:,} bytes, over the "
+                f"{budget.max_mount_bytes:,}-byte budget"
+            )
+        if (
+            budget.max_decoded_records is not None
+            and self.records_decoded > budget.max_decoded_records
+        ):
+            self._trip(
+                f"decoded {self.records_decoded:,} records, over the "
+                f"{budget.max_decoded_records:,}-record budget"
+            )
+        if self.tripped and not self.partial:
+            raise QueryBudgetExceeded(
+                str(self._trip_reason), self.truncation_report()
+            )
+
+    def note_truncated_mount(self) -> None:
+        with self._lock:
+            self.mounts_truncated += 1
+
+    def truncation_report(self) -> Optional[TruncationReport]:
+        """The disclosure for this execution, or None when nothing tripped."""
+        if self._trip_reason is None:
+            return None
+        return TruncationReport(
+            reason=self._trip_reason,
+            elapsed_seconds=self.elapsed(),
+            bytes_mounted=self.bytes_mounted,
+            records_decoded=self.records_decoded,
+            mounts_completed=self.mounts_completed,
+            mounts_truncated=self.mounts_truncated,
+        )
+
+
+# -- circuit breaker -----------------------------------------------------------
+
+CIRCUIT_CLOSED = "closed"
+CIRCUIT_OPEN = "open"
+CIRCUIT_HALF_OPEN = "half_open"
+
+
+@dataclass
+class _Circuit:
+    failures: int = 0
+    state: str = CIRCUIT_CLOSED
+    opened_at: float = 0.0
+    probing: bool = False  # a half-open probe is in flight
+    last_error: str = ""
+
+
+class CircuitBreaker:
+    """Cross-query failure scoring per URI, with half-open probe retries.
+
+    The per-query quarantine (PR 2) protects one query from re-extracting a
+    file that just failed; the breaker protects *every subsequent query*
+    from spending a full retry ladder on a file that keeps failing. State
+    machine per URI:
+
+    ``closed`` → normal; failures accumulate, successes reset the score.
+    ``open`` → after ``failure_threshold`` consecutive failures; mounts are
+    refused outright (:class:`~repro.db.errors.CircuitOpenError`) until
+    ``cooldown_seconds`` pass.
+    ``half_open`` → after the cooldown, exactly one probe mount is let
+    through; success closes the circuit, failure re-opens it (and restarts
+    the cooldown).
+
+    ``clock`` is injectable so tests drive the cooldown deterministically.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._circuits: dict[str, _Circuit] = {}
+
+    def allow(self, uri: str) -> bool:
+        """May this URI be mounted right now? (May admit a half-open probe.)"""
+        with self._lock:
+            circuit = self._circuits.get(uri)
+            if circuit is None or circuit.state == CIRCUIT_CLOSED:
+                return True
+            if circuit.state == CIRCUIT_OPEN:
+                if self._clock() - circuit.opened_at < self.cooldown_seconds:
+                    return False
+                circuit.state = CIRCUIT_HALF_OPEN
+                circuit.probing = True
+                return True
+            # half-open: one probe at a time
+            if circuit.probing:
+                return False
+            circuit.probing = True
+            return True
+
+    def record_failure(self, uri: str, error: Optional[BaseException] = None) -> None:
+        with self._lock:
+            circuit = self._circuits.setdefault(uri, _Circuit())
+            circuit.failures += 1
+            if error is not None:
+                circuit.last_error = type(error).__name__
+            reopen = (
+                circuit.state == CIRCUIT_HALF_OPEN
+                or circuit.failures >= self.failure_threshold
+            )
+            circuit.probing = False
+            if reopen:
+                circuit.state = CIRCUIT_OPEN
+                circuit.opened_at = self._clock()
+
+    def record_success(self, uri: str) -> None:
+        with self._lock:
+            self._circuits.pop(uri, None)
+
+    def likely_blocked(self, uri: str) -> bool:
+        """Non-mutating peek: would :meth:`allow` refuse this URI right now?
+
+        Used to keep refused files out of prefetch lists without consuming
+        the half-open probe slot (only a real :meth:`allow` does that).
+        """
+        with self._lock:
+            circuit = self._circuits.get(uri)
+            if circuit is None or circuit.state == CIRCUIT_CLOSED:
+                return False
+            if circuit.state == CIRCUIT_OPEN:
+                return (
+                    self._clock() - circuit.opened_at < self.cooldown_seconds
+                )
+            return circuit.probing
+
+    def state_of(self, uri: str) -> str:
+        with self._lock:
+            circuit = self._circuits.get(uri)
+            return circuit.state if circuit is not None else CIRCUIT_CLOSED
+
+    def open_uris(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                uri
+                for uri, circuit in self._circuits.items()
+                if circuit.state != CIRCUIT_CLOSED
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._circuits.clear()
+
+    def refusal(self, uri: str) -> CircuitOpenError:
+        """The typed error for a mount the breaker refused."""
+        with self._lock:
+            circuit = self._circuits.get(uri)
+            failures = circuit.failures if circuit is not None else 0
+            last = circuit.last_error if circuit is not None else ""
+            remaining = 0.0
+            if circuit is not None and circuit.state == CIRCUIT_OPEN:
+                remaining = max(
+                    0.0,
+                    self.cooldown_seconds
+                    - (self._clock() - circuit.opened_at),
+                )
+        detail = f"circuit open after {failures} failure(s)"
+        if last:
+            detail = f"{detail} (last: {last})"
+        if remaining > 0:
+            detail = f"{detail}; probe retry in {remaining:.1f}s"
+        return CircuitOpenError(detail, uri=uri)
+
+
+__all__ = [
+    "CIRCUIT_CLOSED",
+    "CIRCUIT_HALF_OPEN",
+    "CIRCUIT_OPEN",
+    "CancellationToken",
+    "CircuitBreaker",
+    "ON_BUDGET_PARTIAL",
+    "ON_BUDGET_POLICIES",
+    "ON_BUDGET_RAISE",
+    "QueryBudget",
+    "QueryGovernor",
+    "TruncationReport",
+]

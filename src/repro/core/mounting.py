@@ -44,7 +44,12 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..db.buffer import BufferManager
-from ..db.errors import FileIngestError, IngestError, StaleFileError
+from ..db.errors import (
+    FileIngestError,
+    IngestError,
+    QueryBudgetExceeded,
+    StaleFileError,
+)
 from ..db.expr import Expr
 from ..db.interval import covers, interval_from_predicate
 from ..db.table import ColumnBatch
@@ -65,6 +70,7 @@ from .cache import (
     Interval,
     WHOLE_FILE,
 )
+from .governor import CancellationToken, CircuitBreaker, QueryGovernor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool uses batches)
     from .mountpool import MountPool
@@ -162,6 +168,8 @@ class MountStats:
     retries: int = 0  # transient-failure extraction retries
     retry_deadline_hits: int = 0  # retry ladders cut short by the deadline
     skipped_mounts: int = 0  # branches answered empty under SKIP_AND_REPORT
+    budget_truncated_mounts: int = 0  # branches answered empty after a budget trip
+    breaker_skips: int = 0  # mounts refused outright by the circuit breaker
     selective_mounts: int = 0  # extractions that pruned at record granularity
     records_decoded: int = 0  # payloads actually Steim-decoded
     records_skipped: int = 0  # records pruned by the request interval
@@ -239,6 +247,18 @@ class MountService:
     failure_report: MountFailureReport = field(
         default_factory=MountFailureReport
     )
+    # Cooperative cancellation: backoff sleeps and worker waits block on
+    # this token's event, so a cancelled/deadline-expired query stops
+    # retrying immediately. The executor swaps in the query's token for
+    # the duration of each execute(); the default is a never-fired one.
+    cancellation: CancellationToken = field(
+        default_factory=CancellationToken, repr=False
+    )
+    # Budget enforcement (attached per query by the executor, like `pool`).
+    governor: Optional[QueryGovernor] = field(default=None, repr=False)
+    # Session-scoped circuit breaker: survives reset_failures(), so a URI
+    # failing across queries stops costing every query a retry ladder.
+    breaker: Optional[CircuitBreaker] = field(default=None, repr=False)
     _quarantined: dict[str, MountFailure] = field(
         default_factory=dict, repr=False
     )
@@ -289,6 +309,16 @@ class MountService:
         """A zero-row D-layout batch: what a dropped union branch yields."""
         return self._deliver(mounted_files_batch([]), alias, predicate)
 
+    def _truncated_branch(
+        self, alias: str, predicate: Optional[Expr]
+    ) -> ColumnBatch:
+        """One branch dropped by a tripped partial-mode budget."""
+        assert self.governor is not None
+        self.governor.note_truncated_mount()
+        with self._lock:
+            self.stats.budget_truncated_mounts += 1
+        return self._empty_branch(alias, predicate)
+
     # -- Mounter protocol -----------------------------------------------------
 
     def request_for(
@@ -324,6 +354,13 @@ class MountService:
         alias: str,
         predicate: Optional[Expr],
     ) -> ColumnBatch:
+        if self.governor is not None:
+            # Budget checkpoint at branch entry: cancellation and raise-mode
+            # exhaustion abort here; a tripped partial budget answers the
+            # rest of the union empty (same shape as a dropped branch).
+            self.governor.checkpoint()
+            if self.governor.should_truncate:
+                return self._truncated_branch(alias, predicate)
         if self.on_error == SKIP_AND_REPORT:
             with self._lock:
                 quarantined = uri in self._quarantined
@@ -331,6 +368,14 @@ class MountService:
                 with self._lock:
                     self.stats.skipped_mounts += 1
                 return self._empty_branch(alias, predicate)
+        if self.breaker is not None and not self.breaker.allow(uri):
+            refusal = self.breaker.refusal(uri)
+            if self.on_error != SKIP_AND_REPORT:
+                raise refusal
+            with self._lock:
+                self.stats.breaker_skips += 1
+            self._quarantine(uri, refusal)
+            return self._empty_branch(alias, predicate)
         request = self.request_for(uri, table_name, alias, predicate)
         if request is not None and request.selects_nothing:
             # Contradictory conjuncts: the branch cannot produce rows, so
@@ -340,11 +385,22 @@ class MountService:
             return self._empty_branch(alias, predicate)
         try:
             result = self._obtain(uri, table_name, request)
+        except QueryBudgetExceeded:
+            # The budget tripped mid-extraction. Partial policy: this and
+            # every later branch answer empty; raise policy: propagate
+            # (never quarantined — the file did nothing wrong).
+            if self.governor is None or not self.governor.partial:
+                raise
+            return self._truncated_branch(alias, predicate)
         except IngestError as exc:
+            if self.breaker is not None and isinstance(exc, FileIngestError):
+                self.breaker.record_failure(uri, exc)
             if self.on_error != SKIP_AND_REPORT:
                 raise
             self._quarantine(uri, exc)
             return self._empty_branch(alias, predicate)
+        if self.breaker is not None:
+            self.breaker.record_success(uri)
         batch = result.batch
         with self._lock:
             self.stats.mounts += 1
@@ -472,8 +528,12 @@ class MountService:
         Transient failures (I/O errors, files caught mid-rewrite) retry up
         to ``max_retries`` times with linear backoff, but never past
         ``retry_deadline_seconds`` of wall clock; the final exception
-        carries the retry count as ``exc.ingest_retries``.
+        carries the retry count as ``exc.ingest_retries``. Backoff waits on
+        the cancellation token's event — not ``time.sleep`` — so a
+        cancelled or deadline-expired query stops retrying immediately
+        instead of sleeping out the rest of its ladder.
         """
+        self.cancellation.raise_if_interrupted()
         path, extractor = self._resolve(uri, table_name)
         attempt = 0
         deadline = (
@@ -498,8 +558,8 @@ class MountService:
                 attempt += 1
                 with self._lock:
                     self.stats.retries += 1
-                if backoff > 0:
-                    time.sleep(backoff)
+                if backoff > 0 and self.cancellation.wait(backoff):
+                    raise self.cancellation.interruption() from exc
 
     def _extract_once(
         self,
@@ -573,6 +633,11 @@ class MountService:
                     f"(mtime/size {before} -> {after})",
                     uri=uri,
                 )
+        if self.governor is not None:
+            # Charge the ledger once per successful extraction (retries and
+            # failures never count). Raise-mode exhaustion aborts here —
+            # possibly on a pool worker, whence it propagates to the taker.
+            self.governor.charge_mount(nbytes, records_decoded)
         return ExtractResult(
             batch=mounted_file_batch(mounted),
             io_seconds=io_seconds,

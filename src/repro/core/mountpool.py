@@ -68,6 +68,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from ..db.interval import hull
 from ..ingest.formats import MountRequest
+from .governor import CancellationToken
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (runtime import cycle)
     from .mounting import ExtractResult
@@ -172,12 +173,20 @@ class MountPool:
         max_workers: int = 1,
         max_inflight: Optional[int] = None,
         fail_fast: bool = True,
+        token: Optional[CancellationToken] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         self._extract = extract
+        # Cooperative cancellation: firing the token cancels every
+        # outstanding mount *from the firing thread*, which also releases
+        # the backpressure semaphore — a worker blocked in _acquire_slot
+        # wakes in O(ms), not at the next poll interval.
+        self._token = token
+        if token is not None:
+            token.on_cancel(self.cancel_outstanding)
         self.max_workers = max_workers
         self.max_inflight = max_inflight or 2 * max_workers
         self.fail_fast = fail_fast
@@ -285,7 +294,7 @@ class MountPool:
         claimed nothing, so the consumer steals its would-be task inline.
         """
         try:
-            while not self._cancelled:
+            while not self._interrupted():
                 try:
                     self._acquire_slot()
                 except CancelledError:
@@ -324,13 +333,23 @@ class MountPool:
 
     def _acquire_slot(self) -> None:
         """Backpressure: hold a slot per in-flight (running or unconsumed)
-        batch. Polls so cancellation can interrupt a blocked worker."""
+        batch.
+
+        Cancellation (direct or via the token) releases ``max_workers``
+        semaphore permits, so a blocked worker wakes through the acquire
+        itself — the poll is only a backstop against lost wake-ups.
+        """
         while not self._slots.acquire(timeout=_POLL_SECONDS):
-            if self._cancelled:
+            if self._interrupted():
                 raise CancelledError("mount pool cancelled")
-        if self._cancelled:
+        if self._interrupted():
             self._slots.release()
             raise CancelledError("mount pool cancelled")
+
+    def _interrupted(self) -> bool:
+        return self._cancelled or (
+            self._token is not None and self._token.fired
+        )
 
     def _timed_extract(
         self, uri: str, table_name: str, request: Optional[MountRequest]
@@ -417,6 +436,14 @@ class MountPool:
         except CancelledError:
             if self.first_error is not None:
                 raise self.first_error from None
+            interruption = (
+                self._token.interruption() if self._token is not None else None
+            )
+            if interruption is not None:
+                # The token cancelled this future before a worker started
+                # it; surface the typed interruption, not a raw
+                # CancelledError, so policy layers can tell why.
+                raise interruption from None
             raise
         except BaseException:
             if self.first_error is not None:

@@ -25,6 +25,7 @@ from ..db.plan.logical import Aggregate, ResultScan, UnionAll
 from .decompose import _replace_subtree
 from .executor import TwoStageExecutor, _actual_scan_predicates
 from .executor_util import batch_from_rows
+from .governor import CancellationToken, QueryBudget, TruncationReport
 from .mounting import MountFailureReport
 from .partial import PartialMerger, is_decomposable
 from .rules import apply_ali_rewrite
@@ -60,6 +61,8 @@ class MultiStageResult:
     mount_failures: MountFailureReport = field(
         default_factory=MountFailureReport
     )
+    # Non-None when an on_budget="partial" budget stopped ingestion early.
+    truncation: Optional[TruncationReport] = None
 
     @property
     def approximate(self) -> bool:
@@ -94,11 +97,23 @@ class MultiStageExecutor:
         self.max_batches = max_batches
         self.stop_condition = stop_condition
 
-    def execute(self, sql: str) -> MultiStageResult:
+    def execute(
+        self,
+        sql: str,
+        budget: Optional[QueryBudget] = None,
+        cancellation: Optional[CancellationToken] = None,
+    ) -> MultiStageResult:
+        governor = self.executor.begin_governed(budget, cancellation)
+        try:
+            return self._execute_governed(sql, governor)
+        finally:
+            self.executor.end_governed(governor)
+
+    def _execute_governed(self, sql: str, governor) -> MultiStageResult:
         db = self.executor.db
         self.executor.mounts.reset_failures()  # quarantine is per execution
         decomposition = self.executor.prepare(sql)
-        ctx = db.make_context(mounter=self.executor.mounts)
+        ctx = db.make_context(mounter=self.executor.mounts, governor=governor)
 
         if decomposition.metadata_only:
             result = db.execute_plan(decomposition.plan, ctx)
@@ -141,7 +156,7 @@ class MultiStageExecutor:
         # stage's per-file plans consume them in file order.
         table_name = info.table_name
         cache = self.executor.cache
-        pool = self.executor.make_mount_pool()
+        pool = self.executor.make_mount_pool(token=governor.token)
         self.executor.mounts.pool = pool
         # The per-file rewrites below fuse this alias's predicate into every
         # branch, so prefetch under the same mount request (same interval,
@@ -163,6 +178,13 @@ class MultiStageExecutor:
             )
             for batch_index, batch in enumerate(batches):
                 for uri in batch:
+                    # Budget safe point between files: raise-mode trips and
+                    # cancellation abort here; a tripped partial budget
+                    # keeps the prefix already merged and stops ingesting.
+                    governor.checkpoint()
+                    if governor.should_truncate:
+                        stopped = True
+                        break
                     child = apply_ali_rewrite(
                         aggregate.child,
                         {info.alias: [uri]},
@@ -183,6 +205,8 @@ class MultiStageExecutor:
                     elapsed_seconds=time.perf_counter() - started,
                 )
                 snapshots.append(snapshot)
+                if stopped:
+                    break  # budget tripped mid-batch: keep the prefix
                 if self._should_stop(snapshot, batch_index):
                     stopped = processed < len(files)
                     break
@@ -206,6 +230,7 @@ class MultiStageExecutor:
             snapshots=snapshots,
             converged=not stopped,
             mount_failures=self.executor.mounts.failure_report,
+            truncation=governor.truncation_report(),
         )
 
     def _should_stop(self, snapshot: BatchSnapshot, batch_index: int) -> bool:

@@ -19,7 +19,7 @@ from .index import HashIndex
 from .plan.binder import Binder
 from .plan.logical import LogicalPlan
 from .plan.optimizer import PhysicalPlanner, optimize_logical
-from .plan.physical import ExecStats, ExecutionContext, Mounter
+from .plan.physical import ExecStats, ExecutionContext, GovernorHook, Mounter
 from .plan.verify import verify_enabled_default, verify_physical
 from .schema import TableSchema
 from .sql.parser import parse_sql
@@ -158,9 +158,16 @@ class Database:
         classify = self.catalog.is_metadata_table if metadata_first else None
         return optimize_logical(plan, classify, verify=self.verify_plans)
 
-    def make_context(self, mounter: Optional[Mounter] = None) -> ExecutionContext:
+    def make_context(
+        self,
+        mounter: Optional[Mounter] = None,
+        governor: Optional[GovernorHook] = None,
+    ) -> ExecutionContext:
         return ExecutionContext(
-            catalog=self.catalog, buffers=self.buffers, mounter=mounter
+            catalog=self.catalog,
+            buffers=self.buffers,
+            mounter=mounter,
+            governor=governor,
         )
 
     def execute_plan(

@@ -153,3 +153,41 @@ class QueryAbortedError(DatabaseError):
     def __init__(self, message: str, breakpoint_info: object | None = None) -> None:
         super().__init__(message)
         self.breakpoint_info = breakpoint_info
+
+
+class QueryInterruptedError(DatabaseError):
+    """A running query was stopped by the governor mid-flight.
+
+    Base of the two interruption flavours — caller-initiated cancellation
+    and budget exhaustion — so front-ends can catch "the query did not run
+    to completion, but nothing is broken" as one type. Deliberately *not*
+    an :class:`IngestError`: interruptions must pass straight through the
+    skip-and-report machinery instead of quarantining innocent files.
+    """
+
+
+class QueryCancelledError(QueryInterruptedError):
+    """The caller cancelled the query through its cancellation token."""
+
+
+class QueryBudgetExceeded(QueryInterruptedError):
+    """A :class:`~repro.core.governor.QueryBudget` limit was exceeded.
+
+    Raised under the ``on_budget="raise"`` policy (wall deadline, mounted
+    bytes, or decoded records). ``truncation`` carries the structured
+    :class:`~repro.core.governor.TruncationReport` when the governor had
+    one at raise time.
+    """
+
+    def __init__(self, message: str, truncation: object | None = None) -> None:
+        super().__init__(message)
+        self.truncation = truncation
+
+
+class CircuitOpenError(FileIngestError):
+    """The cross-query circuit breaker refused to touch this file.
+
+    Not transient: the whole point of the open state is to spend *zero*
+    retry ladder on a URI that has repeatedly failed across queries. The
+    breaker closes again via a half-open probe after its cooldown.
+    """

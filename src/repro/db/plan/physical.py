@@ -35,6 +35,18 @@ from .kernels import (
 from .logical import AggSpec
 
 
+class GovernorHook(Protocol):
+    """The two-stage layer's budget/cancellation hook.
+
+    :meth:`checkpoint` is called between physical operators (the kernel
+    loop's safe points); it raises a typed error to stop the query. The
+    engine knows nothing about budgets — only that a checkpoint may abort.
+    """
+
+    def checkpoint(self) -> None:
+        ...
+
+
 class Mounter(Protocol):
     """The two-stage layer's hook for ALi access paths."""
 
@@ -100,6 +112,7 @@ class ExecutionContext:
     catalog: Catalog
     buffers: Optional[BufferManager] = None
     mounter: Optional[Mounter] = None
+    governor: Optional[GovernorHook] = None
     results: dict[str, ColumnBatch] = field(default_factory=dict)
     stats: ExecStats = field(default_factory=ExecStats)
     profiling: bool = False
@@ -119,6 +132,11 @@ class PhysicalOp:
     """
 
     def execute(self, ctx: ExecutionContext) -> ColumnBatch:
+        if ctx.governor is not None:
+            # Kernel-loop safe point: between materializations is the one
+            # place every operator passes through, so deadline/cancellation
+            # latency is bounded by a single operator, not a whole stage.
+            ctx.governor.checkpoint()
         ctx.stats.operators_run += 1
         if not ctx.profiling:
             return self._run(ctx)

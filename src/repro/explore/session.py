@@ -15,6 +15,7 @@ from typing import Any, Union
 from ..db.database import Database, QueryResult
 from ..db.types import format_timestamp, parse_timestamp
 from ..core.executor import TwoStageExecutor, TwoStageResult
+from ..core.governor import ON_BUDGET_RAISE, QueryBudget
 from ..core.mounting import ON_ERROR_POLICIES
 from .workload import make_query1, make_query2
 
@@ -29,6 +30,7 @@ class SessionEntry:
     files_mounted: int = 0
     cache_scans: int = 0
     mount_failures: int = 0  # files skipped under on_mount_error="skip"
+    truncated: bool = False  # answer cut short by an on_budget="partial" trip
     note: str = ""
 
 
@@ -58,6 +60,13 @@ class ExplorationSession:
     mount_workers: Union[int, None] = None
     on_mount_error: Union[str, None] = None
     verify_plans: Union[bool, None] = None
+    # Session-wide query budget (two-stage engine only): the CLI's
+    # --deadline-seconds / --max-mount-bytes / --on-budget. Every query the
+    # session runs inherits it; None leaves the engine ungoverned.
+    deadline_seconds: Union[float, None] = None
+    max_mount_bytes: Union[int, None] = None
+    max_decoded_records: Union[int, None] = None
+    on_budget: str = ON_BUDGET_RAISE
 
     def __post_init__(self) -> None:
         if self.mount_workers is not None:
@@ -83,6 +92,21 @@ class ExplorationSession:
             self.engine.verify_plans = self.verify_plans
             if isinstance(self.engine, TwoStageExecutor):
                 self.engine.db.verify_plans = self.verify_plans
+        if (
+            self.deadline_seconds is not None
+            or self.max_mount_bytes is not None
+            or self.max_decoded_records is not None
+        ):
+            if not isinstance(self.engine, TwoStageExecutor):
+                raise ValueError(
+                    "query budgets apply only to a TwoStageExecutor engine"
+                )
+            self.engine.budget = QueryBudget(
+                deadline_seconds=self.deadline_seconds,
+                max_mount_bytes=self.max_mount_bytes,
+                max_decoded_records=self.max_decoded_records,
+                on_budget=self.on_budget,
+            )
 
     def run(self, sql: str, note: str = "") -> QueryResult:
         started = time.perf_counter()
@@ -93,11 +117,13 @@ class ExplorationSession:
             mounted = result.stats.files_mounted
             cache_scans = result.stats.cache_scans
             failures = len(outcome.timings.mount_failures)
+            truncated = outcome.truncation is not None
         else:
             result = outcome
             mounted = 0
             cache_scans = 0
             failures = 0
+            truncated = False
         self.history.append(
             SessionEntry(
                 sql=sql,
@@ -106,6 +132,7 @@ class ExplorationSession:
                 files_mounted=mounted,
                 cache_scans=cache_scans,
                 mount_failures=failures,
+                truncated=truncated,
                 note=note,
             )
         )
@@ -168,9 +195,10 @@ class ExplorationSession:
                 if entry.mount_failures
                 else ""
             )
+            truncated = " (truncated)" if entry.truncated else ""
             lines.append(
                 f"  [{i}] {entry.seconds:.3f}s, {entry.rows} rows, "
                 f"{entry.files_mounted} mounts, {entry.cache_scans} "
-                f"cache-scans{skipped}{note}"
+                f"cache-scans{skipped}{truncated}{note}"
             )
         return "\n".join(lines)

@@ -9,6 +9,7 @@ construction: headers (metadata) are tiny and readable without touching the
 payload; payloads (actual data) are large and compressed.
 """
 
+from .iohooks import VolumeIoHook, open_volume, set_volume_io_hook
 from .record import RecordHeader, XSeedRecord, HEADER_SIZE
 from .repository import FileRepository
 from .steim import steim_decode, steim_encode, SteimError
@@ -42,4 +43,7 @@ __all__ = [
     "read_file_metadata",
     "scan_headers",
     "SelectiveRead",
+    "VolumeIoHook",
+    "open_volume",
+    "set_volume_io_hook",
 ]

@@ -1,0 +1,70 @@
+"""Pluggable I/O hook on the volume file-access path.
+
+Every repository read in :mod:`repro.mseed.volume` opens its file through
+:func:`open_volume` instead of calling :func:`open` directly. Normally that
+is a plain ``open(path, "rb")``; when a hook is installed (the deterministic
+fault-injection harness, :mod:`repro.testing.faults`), the returned handle
+is wrapped so the hook can inject transient ``OSError``\\ s, read latency,
+short reads, and between-reads file mutations at chosen URIs — the faults
+the resilient-mounting machinery (retry, skip-and-report, staleness
+re-validation) exists to absorb.
+
+The hook is intentionally a single module-level slot, not a per-service
+field: the whole point of chaos testing is to fault the *real* access path
+that production code uses, with zero plumbing through the extraction layers
+and zero overhead (one ``None`` check) when no hook is installed.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import BinaryIO, Optional, Protocol
+
+
+class VolumeIoHook(Protocol):
+    """Wraps every handle the volume layer opens."""
+
+    def wrap(self, path: Path, uri: str, handle: BinaryIO) -> BinaryIO:
+        """Return the handle to hand to the reader (possibly ``handle``)."""
+        ...
+
+
+_lock = threading.Lock()
+_active: Optional[VolumeIoHook] = None
+
+
+def set_volume_io_hook(hook: Optional[VolumeIoHook]) -> Optional[VolumeIoHook]:
+    """Install ``hook`` (None to clear); returns the previous hook."""
+    global _active
+    with _lock:
+        previous = _active
+        _active = hook
+        return previous
+
+
+def get_volume_io_hook() -> Optional[VolumeIoHook]:
+    return _active
+
+
+def open_volume(path: str | Path, uri: Optional[str] = None) -> BinaryIO:
+    """Open one repository file for reading, through the active hook."""
+    handle = open(path, "rb")
+    hook = _active
+    if hook is None:
+        return handle
+    try:
+        return hook.wrap(
+            Path(path), uri if uri is not None else str(path), handle
+        )
+    except BaseException:
+        handle.close()
+        raise
+
+
+__all__ = [
+    "VolumeIoHook",
+    "get_volume_io_hook",
+    "open_volume",
+    "set_volume_io_hook",
+]

@@ -20,6 +20,7 @@ from typing import Iterator, Optional, Sequence
 
 from ..db.errors import CorruptFileError, StaleFileError, TruncatedFileError
 from ..db.interval import Interval, overlaps
+from .iohooks import open_volume
 from .record import HEADER_SIZE, RecordHeader, XSeedRecord
 
 
@@ -46,7 +47,7 @@ def iter_records(
 ) -> Iterator[XSeedRecord]:
     uri = uri if uri is not None else str(path)
     offset = 0
-    with open(path, "rb") as handle:
+    with open_volume(path, uri) as handle:
         while True:
             header_raw = handle.read(HEADER_SIZE)
             if not header_raw:
@@ -116,7 +117,7 @@ def _read_by_byte_map(
     records: list[tuple[int, XSeedRecord]] = []
     bytes_read = 0
     skipped = 0
-    with open(path, "rb") as handle:
+    with open_volume(path, uri) as handle:
         for span in spans:
             if not overlaps(interval, span.start_time, span.end_time):
                 skipped += 1
@@ -162,7 +163,7 @@ def _read_by_header_walk(
     skipped = 0
     offset = 0
     record_id = 0
-    with open(path, "rb") as handle:
+    with open_volume(path, uri) as handle:
         while True:
             header_raw = handle.read(HEADER_SIZE)
             if not header_raw:
@@ -222,7 +223,7 @@ def scan_headers(
     size = path.stat().st_size
     headers: list[RecordHeader] = []
     offset = 0
-    with open(path, "rb") as handle:
+    with open_volume(path, uri) as handle:
         while True:
             header_raw = handle.read(HEADER_SIZE)
             if not header_raw:

@@ -1,0 +1,31 @@
+"""`repro.testing` — deterministic fault injection for chaos testing.
+
+Importable by tests and benchmarks (it lives in the package so the chaos
+suite, the CLI, and external harnesses share one implementation), but never
+imported by the engine itself: production code only ever sees the hook slot
+in :mod:`repro.mseed.iohooks`.
+"""
+
+from .faults import (
+    FAULT_KINDS,
+    READ_LATENCY,
+    RECOVERABLE_KINDS,
+    SHORT_READ,
+    STALE_FLIP,
+    TRANSIENT_OSERROR,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "READ_LATENCY",
+    "RECOVERABLE_KINDS",
+    "SHORT_READ",
+    "STALE_FLIP",
+    "TRANSIENT_OSERROR",
+]

@@ -1,0 +1,161 @@
+"""Seeded chaos testing: the engine's answers must not depend on the noise.
+
+The grid runs one fixed-seed fault plan against every combination of
+``mount_workers`` × ``on_mount_error`` × ``selective`` and asserts the
+answer is byte-identical to the fault-free baseline — recoverable faults
+(transient I/O errors, read latency, mid-extraction rewrites) are exactly
+the ones the retry ladder and staleness re-validation exist to absorb, so
+any divergence is a resilience bug, not test noise.
+
+Unrecoverable faults are the complement: they must *surface*, with the
+offending URI attached, under every combination.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import TwoStageExecutor
+from repro.db import Database
+from repro.db.errors import FileIngestError
+from repro.ingest import RepositoryBinding, lazy_ingest_metadata
+from repro.mseed import FileRepository, RepositorySpec, generate_repository
+from repro.testing import (
+    RECOVERABLE_KINDS,
+    TRANSIENT_OSERROR,
+    FaultPlan,
+    FaultSpec,
+)
+
+CHAOS_SEED = 20130610  # fixed: CI smoke replays exactly this fault plan
+
+SPEC = RepositorySpec(
+    stations=("ISK", "ANK"),
+    channels=("BHE", "BHZ"),
+    days=2,
+    sample_rate=0.02,
+    samples_per_record=500,
+)
+
+# A query that exercises both stages, grouping, and (when enabled) the
+# record-granular selective path via the sample-time interval.
+CHAOS_SQL = (
+    "SELECT F.station, COUNT(*) AS n, SUM(D.sample_value) AS s\n"
+    "FROM F JOIN D ON F.uri = D.uri\n"
+    "WHERE D.sample_time > '2010-01-10T06:00:00.000'\n"
+    "AND D.sample_time < '2010-01-11T18:00:00.000'\n"
+    "GROUP BY F.station ORDER BY F.station"
+)
+
+GRID = list(
+    itertools.product(
+        (1, 4),  # mount_workers
+        ("fail", "skip"),  # on_mount_error
+        (True, False),  # selective mounting
+    )
+)
+
+
+@pytest.fixture(scope="module")
+def repo(tmp_path_factory):
+    root = tmp_path_factory.mktemp("chaos_repo")
+    generate_repository(root, SPEC)
+    return FileRepository(root)
+
+
+def _executor(repo, workers=1, policy="fail", selective=True):
+    db = Database()
+    lazy_ingest_metadata(db, repo)
+    return TwoStageExecutor(
+        db,
+        RepositoryBinding(repo),
+        mount_workers=workers,
+        on_mount_error=policy,
+        selective_mounts=selective,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(repo):
+    return _executor(repo).execute(CHAOS_SQL).rows
+
+
+class TestChaosGrid:
+    @pytest.mark.parametrize("workers,policy,selective", GRID)
+    def test_recoverable_faults_byte_identical(
+        self, repo, baseline, workers, policy, selective
+    ):
+        plan = FaultPlan.seeded(
+            CHAOS_SEED,
+            repo.uris(),
+            kinds=RECOVERABLE_KINDS,
+            fault_rate=1.0,  # every file takes a hit
+            times=1,  # within the retry budget: must be absorbed
+        )
+        assert plan.specs, "seeded plan unexpectedly empty"
+        executor = _executor(
+            repo, workers=workers, policy=policy, selective=selective
+        )
+        with plan.install():
+            outcome = executor.execute(CHAOS_SQL)
+        assert outcome.rows == baseline
+        assert not outcome.timings.mount_failures
+        assert outcome.truncation is None
+
+    @pytest.mark.parametrize("workers,selective", [
+        (w, s) for w in (1, 4) for s in (True, False)
+    ])
+    def test_unrecoverable_fault_surfaces_uri_fail_fast(
+        self, repo, workers, selective
+    ):
+        victim = repo.uris()[2]
+        plan = FaultPlan(
+            [FaultSpec(uri_suffix=victim, kind=TRANSIENT_OSERROR, times=-1)]
+        )
+        executor = _executor(
+            repo, workers=workers, policy="fail", selective=selective
+        )
+        with plan.install():
+            with pytest.raises(FileIngestError) as excinfo:
+                executor.execute(CHAOS_SQL)
+        assert excinfo.value.mount_uri == victim
+
+    @pytest.mark.parametrize("workers,selective", [
+        (w, s) for w in (1, 4) for s in (True, False)
+    ])
+    def test_unrecoverable_fault_skipped_and_reported(
+        self, repo, baseline, workers, selective
+    ):
+        victim = repo.uris()[2]
+        plan = FaultPlan(
+            [FaultSpec(uri_suffix=victim, kind=TRANSIENT_OSERROR, times=-1)]
+        )
+        executor = _executor(
+            repo, workers=workers, policy="skip", selective=selective
+        )
+        with plan.install():
+            outcome = executor.execute(CHAOS_SQL)
+        assert outcome.timings.mount_failures.uris() == [victim]
+        # Degraded, not wrong: the answer is the baseline minus one file.
+        assert outcome.rows != baseline
+        total = sum(row[1] for row in outcome.rows)
+        baseline_total = sum(row[1] for row in baseline)
+        assert total < baseline_total
+
+    def test_same_seed_same_grid_cell_same_log(self, repo):
+        def run():
+            executor = _executor(repo, workers=4, policy="skip")
+            plan = FaultPlan.seeded(
+                CHAOS_SEED,
+                repo.uris(),
+                kinds=RECOVERABLE_KINDS,
+                fault_rate=1.0,
+                times=1,
+            )
+            with plan.install():
+                executor.execute(CHAOS_SQL)
+            return plan.signature()
+
+        assert run() == run()

@@ -88,6 +88,35 @@ class TestLoadQuery:
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_budget_raise_reports_error(self, repo_dir, capsys):
+        code = main([
+            "query", "--repo", str(repo_dir), "--max-mount-bytes", "1",
+            "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "byte budget" in err
+
+    def test_budget_partial_warns_and_answers(self, repo_dir, capsys):
+        code = main([
+            "query", "--repo", str(repo_dir),
+            "--max-mount-bytes", "1", "--on-budget", "partial",
+            "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "1 rows" in captured.out
+        assert "answer truncated" in captured.err
+
+    def test_deadline_flag_accepted(self, repo_dir, capsys):
+        # A generous deadline: the query completes untruncated.
+        code = main([
+            "query", "--repo", str(repo_dir), "--deadline-seconds", "60",
+            "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri",
+        ])
+        assert code == 0
+        assert "truncated" not in capsys.readouterr().err
+
 
 class TestBench:
     def test_bench_tiny(self, capsys):

@@ -195,6 +195,64 @@ def test_missing_annotations_silent_outside_core_packages(tmp_path):
     assert violations == []
 
 
+def test_uninterruptible_sleep_fires_in_core(tmp_path):
+    violations = _lint_source(
+        tmp_path,
+        """
+        import time
+
+        def backoff(seconds: float) -> None:
+            time.sleep(seconds)
+        """,
+        relpath="repro/core/mod.py",
+    )
+    fired = [v for v in violations if v.rule == "uninterruptible-sleep"]
+    assert len(fired) == 1
+    assert "CancellationToken" in fired[0].message
+
+
+def test_uninterruptible_sleep_fires_in_ingest(tmp_path):
+    violations = _lint_source(
+        tmp_path,
+        """
+        from time import sleep
+
+        def poll() -> None:
+            sleep(1.0)
+        """,
+        relpath="repro/ingest/mod.py",
+    )
+    assert "uninterruptible-sleep" in _rules_fired(violations)
+
+
+def test_uninterruptible_sleep_silent_outside_governed_packages(tmp_path):
+    violations = _lint_source(
+        tmp_path,
+        """
+        import time
+
+        def wait() -> None:
+            time.sleep(0.1)
+        """,
+        relpath="repro/harness/mod.py",
+    )
+    assert "uninterruptible-sleep" not in _rules_fired(violations)
+
+
+def test_uninterruptible_sleep_allowlist_comment(tmp_path):
+    violations = _lint_source(
+        tmp_path,
+        """
+        import time
+
+        def settle() -> None:
+            time.sleep(0.1)  # lint: allow-uninterruptible-sleep
+        """,
+        relpath="repro/core/mod.py",
+    )
+    assert "uninterruptible-sleep" not in _rules_fired(violations)
+
+
 # -- framework behavior ---------------------------------------------------------
 
 

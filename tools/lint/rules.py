@@ -17,6 +17,13 @@ to learn.
   ``repro/db/plan`` must annotate every named parameter and the return
   type; these two packages are the plan-correctness core the verifier
   leans on.
+* ``uninterruptible-sleep`` — no ``time.sleep`` anywhere in ``repro/core``
+  or ``repro/ingest``: those layers run under a query governor whose
+  deadlines and cancellations wake threads through events, and a plain
+  sleep is a wait the governor cannot interrupt (the retry-backoff bug:
+  a cancelled query used to sleep out its whole ladder). Wait on
+  ``CancellationToken.wait``/an ``Event`` instead; genuinely unmanaged
+  waits can carry ``# lint: allow-uninterruptible-sleep``.
 """
 
 from __future__ import annotations
@@ -55,6 +62,12 @@ BLOCKING_CALLS = {
 
 # Packages whose public functions must be fully annotated.
 ANNOTATED_PACKAGES = ("repro/core", "repro/db/plan")
+
+# Packages whose waits must be governor-interruptible (no time.sleep).
+GOVERNED_PACKAGES = ("repro/core", "repro/ingest")
+
+# Same-line escape hatch for waits that genuinely run outside any query.
+SLEEP_ALLOW_COMMENT = "lint: allow-uninterruptible-sleep"
 
 
 def _dotted_name(node: ast.AST) -> str:
@@ -231,10 +244,40 @@ class MissingAnnotationsRule(Rule):
             )
 
 
+class UninterruptibleSleepRule(Rule):
+    """Governed packages wait on events, never ``time.sleep``."""
+
+    name = "uninterruptible-sleep"
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        posix = ctx.path.as_posix()
+        if not any(f"{pkg}/" in posix for pkg in GOVERNED_PACKAGES):
+            return
+        lines = ctx.source.splitlines()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _dotted_name(node.func) not in ("time.sleep", "sleep"):
+                continue
+            line_index = getattr(node, "lineno", 0) - 1
+            if 0 <= line_index < len(lines) and (
+                SLEEP_ALLOW_COMMENT in lines[line_index]
+            ):
+                continue
+            yield self.violation(
+                ctx, node,
+                "time.sleep() in a governed package cannot be interrupted "
+                "by query cancellation or a deadline; wait on the "
+                "cancellation token's event (CancellationToken.wait) "
+                f"instead, or annotate '# {SLEEP_ALLOW_COMMENT}'",
+            )
+
+
 DEFAULT_RULES: list[Rule] = [
     BareExceptRule(),
     ExtractionErrorWrapRule(),
     BlockingCallInLockRule(),
     MutableDefaultArgRule(),
     MissingAnnotationsRule(),
+    UninterruptibleSleepRule(),
 ]
