@@ -1,0 +1,249 @@
+"""Experiment A9 — the service's shared-work win over independent sessions.
+
+The acceptance question for the service layer is quantitative: when N
+clients explore the *same* archive at the same time, how many bytes does the
+shared mount scheduler keep off the disk relative to N scientists each
+running their own session — without changing a single answer?
+
+Method: :func:`repro.serve.driver.build_workload` builds N clients x Q
+queries in the service's target regime (every client's q-th query touches
+the same file; every client asks a distinct nested window, so no two
+answers are equal). The workload runs twice:
+
+* through one :class:`~repro.serve.QueryService` (one closed-loop thread
+  per client, released together off a barrier), and
+* as N independent sessions — fresh executor and private cache per client,
+  nothing shared (:func:`~repro.serve.driver.run_standalone_baseline`).
+
+Reported per configuration: service p50/p99 latency, standalone p50,
+aggregate mounted bytes on both sides, the savings ratio, and the
+scheduler's sharing/fairness counters. Non-quick mode asserts the
+acceptance floor — every answer byte-identical and aggregate savings of at
+least ``SAVINGS_FLOOR``x at N=8 — and exits 1 otherwise.
+
+Run as a script (CI smoke-checks ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick
+    PYTHONPATH=src python benchmarks/bench_serve.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from bench_json import add_json_argument, maybe_emit_json
+from repro.harness.setup import materialize_repository, small_spec, tiny_spec
+from repro.serve import ComparisonReport, QueryService, SchedulerPolicy, run_comparison
+
+# Non-quick acceptance floor: the service must mount at most half the bytes
+# of N independent sessions on the overlapping workload (the perfect-overlap
+# limit at N=8 is 8x; 2x leaves headroom for scheduling accidents).
+SAVINGS_FLOOR = 2.0
+FULL_CLIENTS = 8
+QUICK_CLIENTS = 4
+
+
+@dataclass
+class ServeRun:
+    """One N-client configuration, measured both ways."""
+
+    clients: int
+    queries_per_client: int
+    mount_workers: int
+    throughput_bias: float
+    identical: bool
+    savings_ratio: float
+    service_mount_bytes: int
+    baseline_mount_bytes: int
+    service_p50_ms: float
+    service_p99_ms: float
+    baseline_p50_ms: float
+    service_wall_seconds: float
+    baseline_wall_seconds: float
+    shared_grants: int
+    inline_steals: int
+    starved_grants: int
+    max_wait_ms: float
+    cache_hits: int
+    queries_shed: int
+
+
+def summarize(report: ComparisonReport, mount_workers: int, bias: float) -> ServeRun:
+    sched = report.service_stats.scheduler
+    return ServeRun(
+        clients=report.clients,
+        queries_per_client=report.queries_per_client,
+        mount_workers=mount_workers,
+        throughput_bias=bias,
+        identical=report.identical,
+        savings_ratio=report.bytes_savings_ratio,
+        service_mount_bytes=report.service.mount_bytes,
+        baseline_mount_bytes=report.baseline.mount_bytes,
+        service_p50_ms=report.service.percentile(50) * 1e3,
+        service_p99_ms=report.service.percentile(99) * 1e3,
+        baseline_p50_ms=report.baseline.percentile(50) * 1e3,
+        service_wall_seconds=report.service.wall_seconds,
+        baseline_wall_seconds=report.baseline.wall_seconds,
+        shared_grants=sched.shared_grants,
+        inline_steals=sched.inline_steals,
+        starved_grants=sched.starved_grants,
+        max_wait_ms=sched.max_wait_seconds * 1e3,
+        cache_hits=report.service_stats.cache.hits,
+        queries_shed=report.service_stats.queries_shed,
+    )
+
+
+def run_configuration(
+    repository,
+    spec,
+    clients: int,
+    queries_per_client: int,
+    mount_workers: int,
+    bias: float,
+) -> tuple[ServeRun, ComparisonReport]:
+    service = QueryService(
+        repository,
+        scheduler_policy=SchedulerPolicy(throughput_bias=bias),
+        mount_workers=mount_workers,
+    )
+    try:
+        report = run_comparison(
+            repository,
+            spec,
+            clients=clients,
+            queries_per_client=queries_per_client,
+            service=service,
+        )
+    finally:
+        service.close()
+    return summarize(report, mount_workers, bias), report
+
+
+def render(runs: list[ServeRun]) -> str:
+    header = (
+        f"{'clients':>7} {'bias':>5} {'p50':>9} {'p99':>9} {'alone p50':>10} "
+        f"{'bytes':>12} {'alone':>12} {'saved':>7} {'shared':>7} {'ok':>3}"
+    )
+    lines = [header]
+    for r in runs:
+        lines.append(
+            f"{r.clients:>7} {r.throughput_bias:>5.2f} "
+            f"{r.service_p50_ms:>7.1f}ms {r.service_p99_ms:>7.1f}ms "
+            f"{r.baseline_p50_ms:>8.1f}ms "
+            f"{r.service_mount_bytes:>12,} {r.baseline_mount_bytes:>12,} "
+            f"{r.savings_ratio:>6.2f}x {r.shared_grants:>7} "
+            f"{'yes' if r.identical else 'NO':>3}"
+        )
+    return "\n".join(lines)
+
+
+# -- pytest entry point --------------------------------------------------------
+
+
+def test_serve_quick():
+    """Smoke: identical answers and strict byte savings at small N."""
+    spec = tiny_spec()
+    repository = materialize_repository(spec)
+    run, report = run_configuration(
+        repository,
+        spec,
+        clients=QUICK_CLIENTS,
+        queries_per_client=2,
+        mount_workers=2,
+        bias=0.7,
+    )
+    print()
+    print(render([run]))
+    assert run.identical, f"answers diverged: {report.mismatches[:5]}"
+    assert run.service_mount_bytes < run.baseline_mount_bytes
+    assert run.queries_shed == 0
+
+
+# -- script entry point --------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Shared-work service vs N independent sessions"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny repository, 4 clients, no savings-floor assertion; "
+        "CI uses this",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=None, metavar="N",
+        help=f"override the client count (default: {FULL_CLIENTS}, "
+        f"quick: {QUICK_CLIENTS})",
+    )
+    parser.add_argument("--queries-per-client", type=int, default=3)
+    parser.add_argument("--mount-workers", type=int, default=2, metavar="N")
+    add_json_argument(parser)
+    args = parser.parse_args(argv)
+
+    spec = tiny_spec() if args.quick else small_spec()
+    clients = args.clients or (QUICK_CLIENTS if args.quick else FULL_CLIENTS)
+    queries = 2 if args.quick else args.queries_per_client
+    repository = materialize_repository(spec)
+    print(
+        f"repository: {len(repository.uris())} files, "
+        f"{repository.total_bytes():,} bytes"
+    )
+
+    # The fairness knob's two ends plus the shipped default: savings should
+    # survive the whole range (sharing comes from the batch window and the
+    # cache, not from any particular bias).
+    biases = [0.7] if args.quick else [0.0, 0.7, 1.0]
+    runs: list[ServeRun] = []
+    reports: list[ComparisonReport] = []
+    for bias in biases:
+        run, report = run_configuration(
+            repository,
+            spec,
+            clients=clients,
+            queries_per_client=queries,
+            mount_workers=args.mount_workers,
+            bias=bias,
+        )
+        runs.append(run)
+        reports.append(report)
+    print(render(runs))
+    print()
+    print(reports[-1].service_stats.describe())
+
+    identical = all(r.identical for r in runs)
+    floor_met = all(r.savings_ratio >= SAVINGS_FLOOR for r in runs)
+    maybe_emit_json(
+        args.json,
+        "serve",
+        params={
+            "quick": args.quick,
+            "clients": clients,
+            "queries_per_client": queries,
+            "mount_workers": args.mount_workers,
+            "biases": biases,
+            "files": len(repository.uris()),
+            "savings_floor": SAVINGS_FLOOR,
+        },
+        results={
+            "runs": runs,
+            "identical": identical,
+            "floor_met": floor_met,
+        },
+    )
+    if not identical:
+        print("FAIL: service answers diverged from independent sessions")
+        return 1
+    if not args.quick and not floor_met:
+        print(
+            f"FAIL: byte savings below the {SAVINGS_FLOOR:.1f}x floor: "
+            f"{[round(r.savings_ratio, 2) for r in runs]}"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

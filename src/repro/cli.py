@@ -7,7 +7,11 @@ Commands cover the whole zero-to-exploration path:
 * ``load``     — ingest (eagerly or metadata-only) and persist a database,
 * ``query``    — run SQL: against a persisted database, or two-stage with
   automated lazy ingestion straight against a repository,
-* ``bench``    — regenerate the paper's Table 1 / Figure 3 at a chosen scale.
+* ``bench``    — regenerate the paper's Table 1 / Figure 3 at a chosen scale,
+* ``serve``    — stand up the multi-query service over a repository and
+  drive N simulated clients through it, reporting per-query latency
+  percentiles, aggregate bytes saved versus independent sessions, and the
+  scheduler's sharing/fairness counters.
 """
 
 from __future__ import annotations
@@ -136,6 +140,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scale", choices=("tiny", "small", "default"), default="small"
     )
     bench.add_argument("--runs", type=int, default=3)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-query service with N simulated clients",
+    )
+    serve.add_argument(
+        "--repo", default=None,
+        help="repository to serve (default: a generated benchmark "
+        "repository at --scale)",
+    )
+    serve.add_argument(
+        "--scale", choices=("tiny", "small", "default"), default="small",
+        help="benchmark repository scale when no --repo is given",
+    )
+    serve.add_argument(
+        "--clients", type=_positive_int, default=8, metavar="N",
+        help="simulated closed-loop clients (one tenant each)",
+    )
+    serve.add_argument(
+        "--queries-per-client", type=_positive_int, default=3, metavar="Q",
+        help="queries each client issues back-to-back",
+    )
+    serve.add_argument(
+        "--mount-workers", type=_positive_int, default=2, metavar="W",
+        help="shared scheduler extraction workers (service-wide)",
+    )
+    serve.add_argument(
+        "--throughput-bias", type=float, default=0.7, metavar="B",
+        help="scheduler knob in [0,1]: 1.0 = serve the most-waited-on "
+        "files first (throughput), 0.0 = strict arrival order (fairness); "
+        "starvation aging applies at every setting",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=20.0, metavar="MS",
+        help="batching delay before a cold file is extracted, letting "
+        "co-arriving queries merge into one extraction (0 disables)",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=None, metavar="D",
+        help="per-tenant admission limit on in-flight queries; beyond it "
+        "submissions are shed with a typed error instead of queued",
+    )
     return parser
 
 
@@ -292,12 +338,93 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .harness.setup import (
+        default_spec,
+        materialize_repository,
+        small_spec,
+        tiny_spec,
+    )
+    from .serve import QueryService, SchedulerPolicy, TenantPolicy, run_comparison
+
+    if args.repo is not None:
+        repo = FileRepository(args.repo, suffix=(".xseed", ".tscsv"))
+        db = Database()
+        lazy_ingest_metadata(db, repo)
+        spec = _spec_from_metadata(db)
+    else:
+        spec = {
+            "tiny": tiny_spec, "small": small_spec, "default": default_spec
+        }[args.scale]()
+        repo = materialize_repository(spec)
+        db = None
+
+    policy = SchedulerPolicy(
+        throughput_bias=args.throughput_bias,
+        batch_window_seconds=args.batch_window_ms / 1000.0,
+    )
+    service = QueryService(
+        repo,
+        db=db,
+        scheduler_policy=policy,
+        mount_workers=args.mount_workers,
+        default_policy=TenantPolicy(max_queue_depth=args.max_queue_depth),
+    )
+    try:
+        report = run_comparison(
+            repo,
+            spec,
+            clients=args.clients,
+            queries_per_client=args.queries_per_client,
+            service=service,
+        )
+    finally:
+        service.close()
+    print(report.describe())
+    if not report.identical:
+        print("error: service answers diverged from standalone",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _spec_from_metadata(db: Database) -> RepositorySpec:
+    """A workload-shaped spec for an arbitrary repository, read from ``F``.
+
+    The simulated-clients workload only needs stations, channels, and the
+    day range; everything else keeps its defaults. Works best on
+    day-aligned repositories (the generated benchmark kind).
+    """
+    from .db.types import format_timestamp
+
+    summary = db.execute(
+        "SELECT station, channel, MIN(start_time) AS lo, MAX(end_time) AS hi "
+        "FROM F GROUP BY station, channel ORDER BY station, channel"
+    )
+    rows = summary.rows()
+    if not rows:
+        raise DatabaseError("repository has no files to build a workload from")
+    stations = tuple(dict.fromkeys(r[0] for r in rows))
+    channels = tuple(dict.fromkeys(r[1] for r in rows))
+    lo = min(int(r[2]) for r in rows)
+    hi = max(int(r[3]) for r in rows)
+    day_us = 86_400 * 1_000_000
+    days = max(1, (hi - lo) // day_us)
+    return RepositorySpec(
+        stations=stations,
+        channels=channels,
+        days=int(days),
+        start_day=format_timestamp(lo)[:10],
+    )
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "inspect": _cmd_inspect,
     "load": _cmd_load,
     "query": _cmd_query,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
 }
 
 

@@ -56,7 +56,12 @@ from .mounting import (
     MountStats,
     interval_from_predicate,
 )
-from .mountpool import MountPool, MountPoolTimings, MountTaskTiming
+from .mountpool import (
+    MountPool,
+    MountPoolTimings,
+    MountTaskTiming,
+    merge_requests,
+)
 from .multistage import BatchSnapshot, MultiStageExecutor, MultiStageResult
 from .partial import PartialMerger, is_decomposable
 from .rules import RewriteReport, apply_ali_rewrite, rewrite_actual_scan
@@ -108,6 +113,7 @@ __all__ = [
     "MountPool",
     "MountPoolTimings",
     "MountTaskTiming",
+    "merge_requests",
     "interval_from_predicate",
     "MultiStageExecutor",
     "MultiStageResult",

@@ -77,6 +77,7 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0  # entries dropped by invalidate()/clear()/staleness
     rejected: int = 0  # batches refused admission (larger than the budget)
+    duplicate_stores: int = 0  # no-op stores: a covering entry already existed
     current_bytes: int = 0
 
 
@@ -217,6 +218,15 @@ class IngestionCache:
         with self._lock:
             existing = self._matching_key(uri, interval)
             if existing is not None:
+                # First store wins; later stores of covered data are no-ops.
+                # This is the cache's whole concurrent-ownership story: N
+                # sessions may extract and store one file simultaneously
+                # (the scheduler single-flights *scheduled* mounts, but
+                # inline fallbacks and independent sessions can still race)
+                # and the loser's store costs one counter bump, never a
+                # torn entry or double-counted bytes. ``duplicate_stores``
+                # makes the dedup observable.
+                self.stats.duplicate_stores += 1
                 self._entries.move_to_end(existing)
                 return
             # Widen-on-remount: drop every entry of this file the new

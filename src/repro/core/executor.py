@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from ..db.buffer import IoStats
 from ..db.database import Database, QueryResult
@@ -232,6 +232,17 @@ class TwoStageExecutor:
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.mounts.breaker = self.breaker
         self._governor: Optional[QueryGovernor] = None
+        # Service-layer seams. `pool_factory` replaces the per-query
+        # MountPool with anything speaking its interface (prefetch / take /
+        # close / timings / cancel_outstanding) — the query service plugs a
+        # cross-query scheduler client in here, which is how single-flight
+        # generalizes beyond one query without the executor knowing.
+        # `charge_hook(bytes, records)` is handed to each execution's
+        # governor as its on_charge callback (per-tenant accounting).
+        self.pool_factory: Optional[
+            Callable[[Optional[CancellationToken]], MountPool]
+        ] = None
+        self.charge_hook: Optional[Callable[[int, int], None]] = None
         if derived is not None:
             self.mounts.add_mount_callback(derived.on_mount)
 
@@ -281,7 +292,11 @@ class TwoStageExecutor:
 
         :class:`~repro.core.multistage.MultiStageExecutor` reuses this so
         every stage of a multi-stage run shares one pool configuration.
+        When a ``pool_factory`` is installed (the query service does this),
+        it supplies the pool instead — same interface, shared-work backend.
         """
+        if self.pool_factory is not None:
+            return self.pool_factory(token)
         return MountPool(
             self.mounts._extract,
             max_workers=self.mount_workers,
@@ -303,6 +318,7 @@ class TwoStageExecutor:
         governor = QueryGovernor(
             budget if budget is not None else self.budget,
             token=cancellation,
+            on_charge=self.charge_hook,
         )
         self._governor = governor
         self.mounts.governor = governor

@@ -207,9 +207,17 @@ class QueryGovernor:
         budget: Optional[QueryBudget] = None,
         token: Optional[CancellationToken] = None,
         clock: Callable[[], float] = time.monotonic,
+        on_charge: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         self.budget = budget if budget is not None else QueryBudget()
         self.token = token if token is not None else CancellationToken()
+        # `on_charge(bytes_read, records_decoded)` fires once per completed
+        # extraction, after the ledger update but before any budget raise —
+        # the per-tenant accounting hook: the query service feeds every
+        # query's charges into its tenant's aggregate ledger through this,
+        # so tenant-level admission (shedding on an exhausted byte budget)
+        # sees mounts the moment they complete, not when the query returns.
+        self.on_charge = on_charge
         self._clock = clock
         self._lock = threading.Lock()
         self._started = clock()
@@ -302,6 +310,11 @@ class QueryGovernor:
             self.bytes_mounted += bytes_read
             self.records_decoded += records_decoded
             self.mounts_completed += 1
+        if self.on_charge is not None:
+            # Outside the lock, and before a raise-mode trip below: the
+            # tenant ledger must record work that was actually done even
+            # when doing it exhausted this query's own budget.
+            self.on_charge(bytes_read, records_decoded)
         budget = self.budget
         if (
             budget.max_mount_bytes is not None

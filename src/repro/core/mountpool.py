@@ -84,13 +84,18 @@ MountKey = tuple[str, str]  # (table_name, uri)
 MountTask = "MountKey | tuple[str, str, Optional[MountRequest]]"
 
 
-def _merge_requests(
+def merge_requests(
     a: Optional[MountRequest], b: Optional[MountRequest]
 ) -> Optional[MountRequest]:
     """The single request serving two takers of one key (single-flight).
 
     ``None`` (whole file) absorbs everything; otherwise the merged request
-    covers both intervals, so each taker's coverage check passes.
+    covers both intervals, so each taker's coverage check passes. The
+    cross-query scheduler (:mod:`repro.serve.scheduler`) reuses this to
+    widen one shared extraction over every waiting query's request — the
+    per-query and cross-query single-flight deliberately share one merge
+    rule, so a batch that satisfies a pool taker satisfies a scheduler
+    waiter too.
     """
     if a is None or b is None:
         return None
@@ -259,7 +264,7 @@ class MountPool:
                 key = (table_name, uri)
                 keys.append(key)
                 if key in self._pending_takes:
-                    self._requests[key] = _merge_requests(
+                    self._requests[key] = merge_requests(
                         self._requests.get(key), request
                     )
                 else:

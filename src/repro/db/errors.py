@@ -184,6 +184,24 @@ class QueryBudgetExceeded(QueryInterruptedError):
         self.truncation = truncation
 
 
+class QueryShedError(DatabaseError):
+    """The query service refused to admit a query (per-tenant admission).
+
+    Raised *before* any work happens — at submission time — when the
+    tenant's queue depth is full or its aggregate mount-byte ledger is
+    exhausted. Shedding at admission is what keeps one greedy tenant from
+    queueing unbounded work against the shared scheduler; the caller can
+    back off and resubmit. ``tenant`` names the tenant whose policy shed
+    the query.
+    """
+
+    def __init__(self, message: str, tenant: str | None = None) -> None:
+        if tenant is not None:
+            message = f"tenant {tenant!r}: {message}"
+        super().__init__(message)
+        self.tenant = tenant
+
+
 class CircuitOpenError(FileIngestError):
     """The cross-query circuit breaker refused to touch this file.
 

@@ -10,7 +10,7 @@ seismologists run over query results.
 
 from .autopilot import ConfirmedEvent, EventHunter, HuntReport, SurveyEntry
 from .detect import detect_events, sta_lta
-from .session import ExplorationSession, SessionEntry
+from .session import ExplorationSession, QueryEngine, SessionEntry
 from .visualize import downsample, sparkline, waveform_panel
 from .workload import (
     ExplorationStep,
@@ -22,6 +22,7 @@ from .workload import (
 
 __all__ = [
     "ExplorationSession",
+    "QueryEngine",
     "SessionEntry",
     "sta_lta",
     "detect_events",

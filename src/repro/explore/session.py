@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Union
+from typing import Any, Protocol, Union, runtime_checkable
 
 from ..db.database import Database, QueryResult
 from ..db.types import format_timestamp, parse_timestamp
@@ -18,6 +18,25 @@ from ..core.executor import TwoStageExecutor, TwoStageResult
 from ..core.governor import ON_BUDGET_RAISE, QueryBudget
 from ..core.mounting import ON_ERROR_POLICIES
 from .workload import make_query1, make_query2
+
+
+@runtime_checkable
+class QueryEngine(Protocol):
+    """Anything a session can run SQL through.
+
+    Satisfied by :class:`~repro.db.database.Database` (returns a
+    :class:`~repro.db.database.QueryResult`), by
+    :class:`~repro.core.executor.TwoStageExecutor` and by
+    :class:`~repro.serve.service.TenantClient` (both return a
+    :class:`~repro.core.executor.TwoStageResult`) — the paper's point that
+    the querying front-end never changes, extended to the service layer:
+    an explorer session runs unmodified against a shared multi-tenant
+    service.
+    """
+
+    def execute(self, sql: str) -> Any:
+        """Run one SQL query, returning a QueryResult or TwoStageResult."""
+        ...  # pragma: no cover - protocol stub
 
 
 @dataclass
@@ -36,11 +55,14 @@ class SessionEntry:
 
 @dataclass
 class ExplorationSession:
-    """A stateful explorer session over either execution engine.
+    """A stateful explorer session over any execution engine.
 
     ``engine`` is a plain :class:`Database` (the Ei world: everything loaded
-    up-front) or a :class:`TwoStageExecutor` (the ALi world). The session API
-    is identical — the paper's point that the querying front-end does not
+    up-front), a :class:`TwoStageExecutor` (the ALi world), or any other
+    :class:`QueryEngine` — e.g. a
+    :class:`~repro.serve.service.TenantClient`, which runs the session's
+    queries through a shared multi-tenant service. The session API is
+    identical — the paper's point that the querying front-end does not
     change.
 
     ``mount_workers`` (the CLI's ``--mount-workers``) applies only to a
@@ -54,7 +76,7 @@ class ExplorationSession:
     engine kinds.
     """
 
-    engine: Union[Database, TwoStageExecutor]
+    engine: QueryEngine
     setup_seconds: float = 0.0  # ingestion time before the session began
     history: list[SessionEntry] = field(default_factory=list)
     mount_workers: Union[int, None] = None
