@@ -65,6 +65,12 @@ from .mountpool import (
 from .multistage import BatchSnapshot, MultiStageExecutor, MultiStageResult
 from .partial import PartialMerger, is_decomposable
 from .rules import RewriteReport, apply_ali_rewrite, rewrite_actual_scan
+from .topn import (
+    TopNBranchMonitor,
+    TopNPushdownTarget,
+    branch_hulls,
+    find_top_n_target,
+)
 from .verify import verify_ali_rewrite, verify_decomposition
 
 __all__ = [
@@ -123,6 +129,10 @@ __all__ = [
     "RewriteReport",
     "apply_ali_rewrite",
     "rewrite_actual_scan",
+    "TopNBranchMonitor",
+    "TopNPushdownTarget",
+    "branch_hulls",
+    "find_top_n_target",
     "verify_ali_rewrite",
     "verify_decomposition",
 ]

@@ -34,6 +34,7 @@ from ..db.plan.logical import (
     ResultScan,
     UnionAll,
 )
+from ..db.stats import StatisticsCatalog, collect_statistics
 from ..ingest.formats import RecordSpan
 from ..ingest.schema import FILE_TABLE, RECORD_TABLE, BindingSet, RepositoryBinding
 from .breakpoint import BreakpointInfo
@@ -65,6 +66,7 @@ from .mounting import (
 from .mountpool import MountPool, MountPoolTimings
 from .partial import PartialMerger, is_decomposable
 from .rules import RewriteReport, apply_ali_rewrite
+from .topn import TopNBranchMonitor, branch_hulls, find_top_n_target
 from .verify import verify_ali_rewrite, verify_decomposition
 
 BULK = "bulk"  # strategy (a): union everything, operate once
@@ -184,6 +186,7 @@ class TwoStageExecutor:
         selective_mounts: bool = True,
         budget: Optional[QueryBudget] = None,
         breaker: Optional[CircuitBreaker] = None,
+        top_n_pushdown: bool = True,
     ) -> None:
         if isinstance(bindings, RepositoryBinding):
             bindings = BindingSet.single(bindings)
@@ -213,6 +216,19 @@ class TwoStageExecutor:
         self.mounts.record_map_provider = self._record_map
         self._record_spans: dict[str, tuple[RecordSpan, ...]] = {}
         self._record_spans_source: Optional[object] = None
+        # Top-N/LIMIT pushdown: fuse Sort+Limit into TopN at compile time and
+        # early-terminate provably non-contributing union branches at run
+        # time. Off reproduces the exhaustive sort-then-slice pipeline (the
+        # benchmark baseline).
+        self.top_n_pushdown = top_n_pushdown
+        # Statistics catalog (cost-based join orientation, branch hulls, the
+        # mount access-path choice), rebuilt when the F batch it was
+        # collected from is replaced by a metadata load.
+        self._statistics: Optional[StatisticsCatalog] = None
+        self._statistics_source: Optional[object] = None
+        self.mounts.file_span_provider = (
+            lambda uri: self.statistics().file_span(uri)
+        )
         self.destiny = destiny or ProceedAlways()
         self.cost_model = cost_model or CostModel()
         self.strategy = strategy
@@ -266,10 +282,33 @@ class TwoStageExecutor:
         binding = self.bindings.for_table(table_name)
         return binding.uri_column if binding is not None else "uri"
 
+    def statistics(self) -> StatisticsCatalog:
+        """The current statistics snapshot, rebuilt on metadata loads.
+
+        Invalidation is keyed on the ``F`` table's batch object: lazy
+        metadata ingestion replaces it (together with the other metadata
+        batches), so identity tracks "has the metadata changed" without a
+        version counter.
+        """
+        batch = (
+            self.db.catalog.table(FILE_TABLE).batch
+            if self.db.catalog.has_table(FILE_TABLE)
+            else None
+        )
+        if self._statistics is None or self._statistics_source is not batch:
+            self._statistics = collect_statistics(self.db.catalog, FILE_TABLE)
+            self._statistics_source = batch
+        return self._statistics
+
     def prepare(self, sql: str) -> Decomposition:
         """Steps 1: parse, bind, optimize metadata-first, decompose."""
         plan = self.db.bind_sql(sql)
-        plan = self.db.optimize(plan, metadata_first=True)
+        plan = self.db.optimize(
+            plan,
+            metadata_first=True,
+            stats=self.statistics(),
+            fuse_topn=self.top_n_pushdown,
+        )
         decomposition = decompose(
             plan, self.db.catalog.is_metadata_table, self._uri_column_of
         )
@@ -468,7 +507,18 @@ class TwoStageExecutor:
         # mount_workers == 1, fanned out to a thread pool otherwise.
         pool = self.make_mount_pool(token=governor.token)
         self.mounts.pool = pool
+        termination = None
+        if self.top_n_pushdown and self.strategy == BULK:
+            termination = self._top_n_termination(rewritten, pool)
         try:
+            if termination is not None:
+                monitor, prefetch_mounts = termination
+                ctx.branch_monitor = monitor
+            else:
+                monitor = None
+                prefetch_mounts = [
+                    node for node in rewritten.walk() if isinstance(node, Mount)
+                ]
             pool.prefetch(
                 [
                     (
@@ -479,18 +529,25 @@ class TwoStageExecutor:
                             node.predicate,
                         ),
                     )
-                    for node in rewritten.walk()
-                    if isinstance(node, Mount)
+                    for node in prefetch_mounts
                     # Don't spend workers on files the breaker will refuse
                     # at mount time anyway (mount_file stays authoritative).
-                    and not self.breaker.likely_blocked(node.uri)
+                    if not self.breaker.likely_blocked(node.uri)
                 ]
             )
             if self.strategy == PER_FILE:
                 stage2 = self._execute_per_file(rewritten, ctx)
             else:
                 stage2 = self.db.execute_plan(rewritten, ctx)
+                if monitor is not None and not monitor.safe():
+                    # A skip the emitted rows do not justify (operators
+                    # between the union and the TopN dropped part of the
+                    # answer). Correctness wins: re-run exhaustively —
+                    # released branches extract inline on this thread.
+                    ctx.branch_monitor = None
+                    stage2 = self.db.execute_plan(rewritten, ctx)
         finally:
+            ctx.branch_monitor = None
             self.mounts.pool = None
             pool.close()
             timings.record_mounts(self.mount_workers, pool.timings)
@@ -510,6 +567,46 @@ class TwoStageExecutor:
             approximate=approximate,
             truncation=governor.truncation_report(),
         )
+
+    # -- Top-N early termination -------------------------------------------------
+
+    def _top_n_termination(
+        self, rewritten: LogicalPlan, pool: MountPool
+    ) -> Optional[tuple[TopNBranchMonitor, list[Mount]]]:
+        """Arm branch skipping for one stage-2 execution, when sound.
+
+        Returns the monitor (installed as the context's ``branch_monitor``)
+        and the union's Mount branches in consumption-priority order — the
+        prefetch order, so workers extract the most promising hulls first
+        and the threshold tightens before the losers reach the front of the
+        queue. None when the rewritten plan is not the recognized shape.
+        """
+        target = find_top_n_target(rewritten, self.mounts.time_column)
+        if target is None:
+            return None
+        hulls = branch_hulls(target.union, self.statistics().file_span)
+        branches = list(target.union.inputs)
+
+        def on_skip(index: int) -> None:
+            branch = branches[index]
+            self.mounts.stats.early_terminated_branches += 1
+            if isinstance(branch, Mount) and pool.release(
+                branch.table_name, branch.uri
+            ):
+                self.mounts.stats.early_cancelled_mounts += 1
+
+        monitor = TopNBranchMonitor(
+            count=target.topn.count,
+            ascending=target.ascending,
+            key=target.key,
+            hulls=hulls,
+            on_skip=on_skip,
+        )
+        order = monitor.schedule(len(branches))
+        prefetch_mounts = [
+            branches[i] for i in order if isinstance(branches[i], Mount)
+        ]
+        return monitor, prefetch_mounts
 
     # -- breakpoint helpers ----------------------------------------------------------
 
@@ -583,12 +680,10 @@ class TwoStageExecutor:
 
     def _file_time_spans(self) -> dict[str, tuple[int, int]]:
         """uri → (start_time, end_time) from the loaded ``F`` metadata."""
-        table = self.db.catalog.table(FILE_TABLE)
-        batch = table.batch
-        uris = batch.column("uri").to_pylist()
-        starts = batch.column("start_time").to_pylist()
-        ends = batch.column("end_time").to_pylist()
-        return {u: (int(s), int(e)) for u, s, e in zip(uris, starts, ends)}
+        return {
+            uri: stats.span
+            for uri, stats in self.statistics().files.items()
+        }
 
     def _record_map(
         self, uri: str, table_name: str

@@ -174,6 +174,9 @@ class MountStats:
     records_decoded: int = 0  # payloads actually Steim-decoded
     records_skipped: int = 0  # records pruned by the request interval
     empty_interval_skips: int = 0  # contradictory predicates: no disk touched
+    early_terminated_branches: int = 0  # union branches skipped by Top-N proof
+    early_cancelled_mounts: int = 0  # pending mounts released before extraction
+    whole_file_requests: int = 0  # selective requests widened: interval covers file
 
 
 @dataclass(frozen=True)
@@ -242,6 +245,13 @@ class MountService:
     # extraction so only overlapping records are read and decoded.
     selective: bool = True
     record_map_provider: Optional[RecordMapProvider] = field(
+        default=None, repr=False
+    )
+    # uri -> the file's metadata time span, for the access-path cost choice:
+    # a request interval covering the whole span makes the selective seek
+    # ladder pure overhead, so the mount degrades to a plain full read. The
+    # executor wires this from its statistics catalog.
+    file_span_provider: Optional[Callable[[str], Optional[Interval]]] = field(
         default=None, repr=False
     )
     failure_report: MountFailureReport = field(
@@ -342,6 +352,16 @@ class MountService:
         )
         if interval == WHOLE_FILE:
             return None
+        if self.file_span_provider is not None and interval[0] <= interval[1]:
+            # Cost choice: when the interval covers the file's whole metadata
+            # span, every record overlaps it — selective extraction would
+            # read the same bytes through a seek ladder. Mount whole instead;
+            # output is identical, delivery still applies the predicate.
+            span = self.file_span_provider(uri)
+            if span is not None and covers(interval, span):
+                with self._lock:
+                    self.stats.whole_file_requests += 1
+                return None
         records: Optional[tuple[RecordSpan, ...]] = None
         if self.record_map_provider is not None and interval[0] <= interval[1]:
             records = self.record_map_provider(uri, table_name)

@@ -396,6 +396,55 @@ class MountPool:
 
     # -- consuming side ------------------------------------------------------
 
+    def release(self, table_name: str, uri: str) -> bool:
+        """Renounce one expected take of a key (Top-N early termination).
+
+        The consuming plan has proved it will never ``take`` this branch, so
+        the pool drops one pending take; when that was the last one, the
+        task is withdrawn entirely. Returns True when the withdrawal
+        provably avoided the extraction (the task never ran and never will);
+        False when the work already happened, is mid-flight on a worker, or
+        other takers still want the key.
+        """
+        key: MountKey = (table_name, uri)
+        with self._lock:
+            if key not in self._pending_takes:
+                return False  # never prefetched, nothing to renounce
+            remaining = self._pending_takes[key] - 1
+            if remaining > 0:
+                self._pending_takes[key] = remaining
+                return False  # single-flight: someone else still takes it
+            extracted = key in self._results
+            self._pending_takes.pop(key, None)
+            self._results.pop(key, None)
+            self._requests.pop(key, None)
+            future = self._futures.pop(key, None)
+            slot_free = key in self._holds_slot
+            self._holds_slot.discard(key)
+        if slot_free:
+            self._slots.release()
+        if future is None:
+            # Serial fallback (extraction is lazy-inline) — dropping the
+            # pending take is the whole cancellation, unless a prior take
+            # already extracted it for another taker.
+            return not extracted
+        if future.cancel():
+            return True  # still queued: the extraction never happens
+        # Already running or finished: let the worker complete (it holds a
+        # backpressure slot and will release it via the done callback), but
+        # nobody will read the result.
+        future.add_done_callback(lambda _f: self._abandon(key))
+        return False
+
+    def _abandon(self, key: MountKey) -> None:
+        """Release the slot of a completed-but-released task's result."""
+        slot_free = False
+        with self._lock:
+            slot_free = key in self._holds_slot
+            self._holds_slot.discard(key)
+        if slot_free:
+            self._slots.release()
+
     def take(
         self,
         uri: str,

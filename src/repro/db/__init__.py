@@ -29,6 +29,7 @@ from .errors import (
 )
 from .index import HashIndex
 from .schema import ColumnDef, ForeignKey, TableKind, TableSchema
+from .stats import FileStatistics, StatisticsCatalog, collect_statistics
 from .table import ColumnBatch, Table, concat_batches
 from .types import DataType, format_timestamp, parse_timestamp
 
@@ -61,6 +62,9 @@ __all__ = [
     "ForeignKey",
     "TableKind",
     "TableSchema",
+    "FileStatistics",
+    "StatisticsCatalog",
+    "collect_statistics",
     "ColumnBatch",
     "Table",
     "concat_batches",

@@ -153,10 +153,20 @@ class Database:
         return Binder(self.catalog).bind(parse_sql(sql))
 
     def optimize(
-        self, plan: LogicalPlan, metadata_first: bool = False
+        self,
+        plan: LogicalPlan,
+        metadata_first: bool = False,
+        stats=None,  # Optional[StatisticsCatalog]
+        fuse_topn: bool = True,
     ) -> LogicalPlan:
         classify = self.catalog.is_metadata_table if metadata_first else None
-        return optimize_logical(plan, classify, verify=self.verify_plans)
+        return optimize_logical(
+            plan,
+            classify,
+            verify=self.verify_plans,
+            stats=stats,
+            fuse_topn=fuse_topn,
+        )
 
     def make_context(
         self,

@@ -46,6 +46,11 @@ def hull(a: Interval, b: Interval) -> Interval:
     return (min(a[0], b[0]), max(a[1], b[1]))
 
 
+def intersect(a: Interval, b: Interval) -> Interval:
+    """The overlap of ``a`` and ``b``; inverted (empty) when disjoint."""
+    return (max(a[0], b[0]), min(a[1], b[1]))
+
+
 def interval_from_predicate(
     predicate: Optional[Expr], time_key: str
 ) -> Interval:

@@ -338,6 +338,13 @@ class Binder:
         if stmt.distinct:
             plan = Distinct(plan)
         if stmt.limit is not None:
+            # The parser already rejects a negative literal; this guards
+            # programmatically built statements. LIMIT 0 is a legal empty
+            # result carrying the query's schema.
+            if stmt.limit < 0:
+                raise BindError(
+                    f"LIMIT must be a non-negative integer, got {stmt.limit}"
+                )
             plan = Limit(plan, stmt.limit)
         return plan
 

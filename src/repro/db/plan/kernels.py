@@ -100,3 +100,45 @@ def sort_indices(
         arrays.append(codes if asc else -codes)
     # np.lexsort sorts by the last key first; our first key is primary.
     return np.lexsort(arrays[::-1])
+
+
+def top_n_indices(
+    key_columns: Sequence[Column],
+    ascending: Sequence[bool],
+    count: int,
+    chunk_rows: int = 4096,
+) -> np.ndarray:
+    """The first ``count`` indices of the stable multi-key sort order.
+
+    Equivalent to ``sort_indices(key_columns, ascending)[:count]`` — stable
+    tie-breaking by row position included — but computed as a heap-style
+    selection: rows stream through in chunks, and only the current best
+    ``count`` candidates are ever re-sorted, so per-step work is bounded by
+    ``count + chunk_rows`` rather than the input size.
+    """
+    if not key_columns:
+        raise ValueError("top_n_indices requires at least one key")
+    if count < 0:
+        raise ValueError(f"top_n_indices requires count >= 0, got {count}")
+    if chunk_rows < 1:
+        raise ValueError(f"top_n_indices requires chunk_rows >= 1, got {chunk_rows}")
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    arrays = []
+    for column, asc in zip(key_columns, ascending):
+        codes, _ = factorize(column)
+        arrays.append(codes if asc else -codes)
+    n = len(key_columns[0])
+    # Invariant: ``kept`` holds the best <= count row indices seen so far,
+    # already in stable sort order. Appending the next chunk (whose indices
+    # all exceed kept's ties, in row order) and re-sorting stably preserves
+    # global stability by induction.
+    kept = np.empty(0, dtype=np.int64)
+    for start in range(0, n, chunk_rows):
+        candidates = np.concatenate(
+            [kept, np.arange(start, min(start + chunk_rows, n), dtype=np.int64)]
+        )
+        keys = [codes[candidates] for codes in arrays]
+        order = np.lexsort(keys[::-1])
+        kept = candidates[order[:count]]
+    return kept

@@ -233,6 +233,38 @@ class Limit(LogicalPlan):
 
 
 @dataclass(eq=False)
+class TopN(LogicalPlan):
+    """Fused Sort + Limit: the ``count`` first rows of the sorted child.
+
+    Produced by the ``fuse-top-n`` optimizer pass from ``Limit(Sort(...))``
+    shapes (possibly through a projection). Carrying both the keys and the
+    count in one node is what lets the physical layer run a bounded-memory
+    heap selection and lets the executor terminate union branches early once
+    the current threshold proves a branch's time hull cannot contribute.
+    """
+
+    child: LogicalPlan
+    keys: list[tuple[Expr, bool]]  # (expression, ascending)
+    count: int
+
+    def __post_init__(self) -> None:
+        self.output = self.child.output
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "TopN":
+        (child,) = children
+        return TopN(child, self.keys, self.count)
+
+    def label(self) -> str:
+        keys = ", ".join(
+            f"{expr!r} {'ASC' if asc else 'DESC'}" for expr, asc in self.keys
+        )
+        return f"TopN[{keys}, limit={self.count}]"
+
+
+@dataclass(eq=False)
 class Distinct(LogicalPlan):
     """Drop duplicate rows, keeping first occurrences (stable)."""
 

@@ -11,7 +11,10 @@ joins, which is what makes Ei pay for index residency on cold runs.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (stats imports plan.logical)
+    from ..stats import StatisticsCatalog
 
 from ..catalog import Catalog
 from ..errors import PlanError
@@ -31,6 +34,7 @@ from .logical import (
     Select,
     SemiJoin,
     Sort,
+    TopN,
     UnionAll,
 )
 from .physical import (
@@ -49,11 +53,14 @@ from .physical import (
     PSemiJoin,
     PSort,
     PTableScan,
+    PTopN,
     PUnionAll,
     PhysicalOp,
 )
 from .rewrite import (
     ClassifyFn,
+    cost_based_join_order,
+    fuse_top_n,
     metadata_first_join_order,
     prune_columns,
     push_down_selections,
@@ -65,6 +72,8 @@ def optimize_logical(
     plan: LogicalPlan,
     classify: Optional[ClassifyFn] = None,
     verify: bool = False,
+    stats: Optional["StatisticsCatalog"] = None,
+    fuse_topn: bool = True,
 ) -> LogicalPlan:
     """Run the compile-time rewrite pipeline.
 
@@ -73,6 +82,11 @@ def optimize_logical(
     checks the binder's output and every pass against the structural
     invariants in :mod:`repro.db.plan.verify`, raising
     :class:`~repro.db.errors.PlanInvariantError` on the first violation.
+    ``stats`` (a :class:`~repro.db.stats.StatisticsCatalog`) enables the
+    cost-based join orientation pass; ``fuse_topn`` controls Sort+Limit
+    fusion into :class:`~repro.db.plan.logical.TopN` (off reproduces the
+    exhaustive sort-then-slice plan, the baseline the benchmarks compare
+    against).
     """
     if verify:
         verify_plan(plan, "bind")
@@ -84,6 +98,12 @@ def optimize_logical(
         stages.append(("metadata-first-join-order", plan))
         plan = push_down_selections(plan)
         stages.append(("push-down-selections", plan))
+    if fuse_topn:
+        plan = fuse_top_n(plan)
+        stages.append(("fuse-top-n", plan))
+    if stats is not None and classify is not None:
+        plan = cost_based_join_order(plan, stats, classify)
+        stages.append(("cost-based-join-order", plan))
     plan = prune_columns(plan)
     stages.append(("prune-columns", plan))
     if verify:
@@ -159,8 +179,21 @@ class PhysicalPlanner:
             return PAggregate(self.plan(node.child), node.groups, node.aggs)
         if isinstance(node, Sort):
             return PSort(self.plan(node.child), node.keys)
+        if isinstance(node, TopN):
+            return PTopN(
+                self.plan(node.child),
+                node.keys,
+                node.count,
+                [key for key, _ in node.output],
+                [dtype for _, dtype in node.output],
+            )
         if isinstance(node, Limit):
-            return PLimit(self.plan(node.child), node.count)
+            return PLimit(
+                self.plan(node.child),
+                node.count,
+                [key for key, _ in node.output],
+                [dtype for _, dtype in node.output],
+            )
         if isinstance(node, Distinct):
             return PDistinct(self.plan(node.child))
         if isinstance(node, UnionAll):

@@ -31,6 +31,7 @@ from .kernels import (
     group_by_codes,
     join_codes,
     sort_indices,
+    top_n_indices,
 )
 from .logical import AggSpec
 
@@ -68,6 +69,30 @@ class Mounter(Protocol):
         predicate: Optional[Expr],
     ) -> ColumnBatch:
         """Serve one file's (filtered) tuples from the ingestion cache."""
+        ...
+
+
+class BranchMonitor(Protocol):
+    """The two-stage layer's Top-N early-termination hook.
+
+    A union whose branches are per-file access paths consults the monitor:
+    ``schedule`` picks the consumption order (most promising time hull
+    first), ``should_skip`` asks whether a branch provably cannot contribute
+    to the running Top-N threshold, ``observe`` feeds each produced branch
+    into the threshold, and ``note_result`` lets the Top-N operator report
+    its final rows so the skips can be re-verified against the true answer.
+    """
+
+    def schedule(self, n: int) -> list[int]:
+        ...
+
+    def should_skip(self, index: int) -> bool:
+        ...
+
+    def observe(self, index: int, batch: ColumnBatch) -> None:
+        ...
+
+    def note_result(self, primary: Expr, batch: ColumnBatch) -> None:
         ...
 
 
@@ -116,6 +141,9 @@ class ExecutionContext:
     results: dict[str, ColumnBatch] = field(default_factory=dict)
     stats: ExecStats = field(default_factory=ExecStats)
     profiling: bool = False
+    # Installed by the two-stage executor for Top-N queries over a rule-(1)
+    # union; None means unions execute every branch in plan order.
+    branch_monitor: Optional[BranchMonitor] = None
     _profile_depth: int = 0
 
     def touch(self, name: str, nbytes: int) -> None:
@@ -571,10 +599,54 @@ class PSort(PhysicalOp):
 class PLimit(PhysicalOp):
     child: PhysicalOp
     count: int
+    output_names: Optional[list[str]] = None
+    output_dtypes: Optional[list[DataType]] = None
 
     def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        if (
+            self.count <= 0
+            and self.output_names is not None
+            and self.output_dtypes is not None
+        ):
+            # LIMIT 0 is defined as the empty result with the child's schema;
+            # short-circuit so nothing below it executes (or mounts).
+            return ColumnBatch.empty_like(self.output_names, self.output_dtypes)
         batch = self.child.execute(ctx)
         return batch.slice(0, self.count)
+
+
+@dataclass
+class PTopN(PhysicalOp):
+    """Fused Sort+Limit: the ``count`` first rows under the sort keys.
+
+    Selection runs through :func:`top_n_indices` — a bounded candidate set
+    folded chunk-at-a-time, never a full sort — and matches
+    ``sort_indices(...)[:count]`` exactly (stable ties included).
+    """
+
+    child: PhysicalOp
+    keys: list[tuple[Expr, bool]]
+    count: int
+    output_names: list[str]
+    output_dtypes: list[DataType]
+
+    def _run(self, ctx: ExecutionContext) -> ColumnBatch:
+        if self.count <= 0:
+            return ColumnBatch.empty_like(self.output_names, self.output_dtypes)
+        batch = self.child.execute(ctx)
+        if batch.num_rows == 0:
+            result = batch
+        else:
+            key_cols = [expr.evaluate(batch) for expr, _ in self.keys]
+            ascending = [asc for _, asc in self.keys]
+            keep = top_n_indices(key_cols, ascending, self.count)
+            result = batch.take(keep)
+        if ctx.branch_monitor is not None:
+            # Report the emitted rows so branch skips can be audited against
+            # the true threshold (the executor falls back to an exhaustive
+            # run if any skip turns out unsound).
+            ctx.branch_monitor.note_result(self.keys[0][0], result)
+        return result
 
 
 @dataclass
@@ -597,8 +669,26 @@ class PUnionAll(PhysicalOp):
     output_dtypes: list[DataType]
 
     def _run(self, ctx: ExecutionContext) -> ColumnBatch:
-        batches = [child.execute(ctx) for child in self.children]
-        batches = [b for b in batches if b.num_rows > 0]
+        monitor = ctx.branch_monitor
+        order = list(range(len(self.children)))
+        if monitor is not None:
+            order = monitor.schedule(len(self.children))
+        produced: dict[int, ColumnBatch] = {}
+        for index in order:
+            if monitor is not None and monitor.should_skip(index):
+                # The branch provably cannot contribute to the Top-N answer;
+                # the monitor has already released its outstanding mount.
+                continue
+            batch = self.children[index].execute(ctx)
+            if monitor is not None:
+                monitor.observe(index, batch)
+            produced[index] = batch
+        # Assemble in original branch order: consumption order is purely a
+        # scheduling concern, and sort-tie resolution upstream must not
+        # depend on it.
+        batches = [
+            produced[i] for i in sorted(produced) if produced[i].num_rows > 0
+        ]
         if not batches:
             return ColumnBatch.empty_like(self.output_names, self.output_dtypes)
         # Normalize column order to the declared output layout.

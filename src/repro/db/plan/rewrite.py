@@ -16,9 +16,12 @@ Three families of rules run before execution:
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..expr import Expr, conjoin, conjuncts
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (stats imports plan.logical)
+    from ..stats import StatisticsCatalog
 from .logical import (
     Aggregate,
     Distinct,
@@ -30,6 +33,7 @@ from .logical import (
     Select,
     SemiJoin,
     Sort,
+    TopN,
     UnionAll,
 )
 
@@ -82,9 +86,16 @@ def _push(plan: LogicalPlan, pending: list[Expr]) -> LogicalPlan:
         # Keep the declared schema: a zero-branch union (empty files of
         # interest) has no input to infer it from.
         return UnionAll(inputs, plan.declared_output or list(plan.output))
-    if isinstance(plan, (Sort, Limit, Distinct)):
-        # Filters commute with ordering and (for bag semantics) with limit only
-        # when limit is above them — keep predicates above these operators.
+    if isinstance(plan, (Sort, Distinct)):
+        # σ commutes with ordering and with duplicate elimination (both are
+        # row-preserving on the filtered columns), so predicates keep sinking.
+        # Keeping them above here would strand the fused predicate above the
+        # eventual mounts, degrading selective mounting to full-file reads.
+        child = _push(plan.children()[0], pending)
+        return plan.with_children([child])
+    if isinstance(plan, (Limit, TopN)):
+        # Limit (and its fused TopN form) picks rows by position: filtering
+        # before it changes *which* rows survive, so it is a hard barrier.
         child = _push(plan.children()[0], [])
         rebuilt = plan.with_children([child])
         return _apply_pending(rebuilt, pending)
@@ -180,6 +191,67 @@ def _rebuild_right_deep(
     return current
 
 
+# -- Top-N fusion -------------------------------------------------------------
+
+
+def fuse_top_n(plan: LogicalPlan) -> LogicalPlan:
+    """Fuse ``Limit(Sort(…))`` (optionally through a Project) into ``TopN``.
+
+    The binder stacks ``Limit(Project(Sort(child)))`` for an
+    ``ORDER BY … LIMIT k`` query. Project is 1:1 row-preserving, so the limit
+    commutes with it, and the sort keys reference pre-projection columns and
+    therefore stay valid directly on the sort's child. ``LIMIT 0`` is left
+    alone: :class:`~repro.db.plan.physical.PLimit` short-circuits it without
+    executing the child at all, which a TopN operator would not.
+    """
+    children = [fuse_top_n(child) for child in plan.children()]
+    rebuilt = plan.with_children(children) if children else plan
+    if not isinstance(rebuilt, Limit) or rebuilt.count <= 0:
+        return rebuilt
+    child = rebuilt.child
+    if isinstance(child, Sort):
+        return TopN(child.child, child.keys, rebuilt.count)
+    if isinstance(child, Project) and isinstance(child.child, Sort):
+        sort = child.child
+        return Project(TopN(sort.child, sort.keys, rebuilt.count), child.items)
+    return rebuilt
+
+
+# -- cost-based join orientation ----------------------------------------------
+
+
+def cost_based_join_order(
+    plan: LogicalPlan,
+    stats: "StatisticsCatalog",
+    classify: ClassifyFn,
+) -> LogicalPlan:
+    """Orient each join so the estimated-smaller side is the hash build side.
+
+    The hash join builds on its *right* input (``_match_codes`` sorts the
+    right side's codes and binary-searches left probes into them), so when
+    cardinality estimates say the left side is smaller the join is flipped.
+    Swaps only happen between sides with the same metadata classification:
+    flipping an actual side past a metadata side would undo the paper's
+    metadata-first ordering that stage decomposition cuts on.
+    """
+    children = [
+        cost_based_join_order(child, stats, classify)
+        for child in plan.children()
+    ]
+    rebuilt = plan.with_children(children) if children else plan
+    if not isinstance(rebuilt, Join):
+        return rebuilt
+    left_meta = _is_metadata_relation(rebuilt.left, classify)
+    right_meta = _is_metadata_relation(rebuilt.right, classify)
+    if left_meta != right_meta:
+        return rebuilt
+    left_rows = stats.estimate_rows(rebuilt.left)
+    right_rows = stats.estimate_rows(rebuilt.right)
+    if left_rows < right_rows:
+        return Join(rebuilt.right, rebuilt.left, rebuilt.condition)
+    return rebuilt
+
+
 # -- column pruning -----------------------------------------------------------
 
 
@@ -227,6 +299,11 @@ def _prune(plan: LogicalPlan, required: set[str]) -> LogicalPlan:
         for expr, _ in plan.keys:
             needed |= expr.references()
         return Sort(_prune(plan.child, needed), plan.keys)
+    if isinstance(plan, TopN):
+        needed = set(required)
+        for expr, _ in plan.keys:
+            needed |= expr.references()
+        return TopN(_prune(plan.child, needed), plan.keys, plan.count)
     if isinstance(plan, (Limit, Distinct)):
         child = _prune(plan.children()[0], required)
         return plan.with_children([child])

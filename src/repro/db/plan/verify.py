@@ -57,6 +57,7 @@ from .logical import (
     Select,
     SemiJoin,
     Sort,
+    TopN,
     UnionAll,
 )
 from .physical import (
@@ -75,6 +76,7 @@ from .physical import (
     PSemiJoin,
     PSort,
     PTableScan,
+    PTopN,
     PUnionAll,
     PhysicalOp,
 )
@@ -245,8 +247,28 @@ def _check_node(node: LogicalPlan, pass_name: str) -> None:
             node, node.output, node.child.output, pass_name,
             "Sort must pass its child schema through",
         )
+    elif isinstance(node, TopN):
+        scope = _scope_of(node.child.output)
+        for expr, _asc in node.keys:
+            _check_expr(expr, scope, pass_name, node, "top-n key")
+        if not node.keys:
+            raise PlanInvariantError(
+                pass_name, "TopN requires at least one sort key", node
+            )
+        if node.count < 0:
+            raise PlanInvariantError(
+                pass_name, f"TopN count must be >= 0, got {node.count}", node
+            )
+        _require_same_schema(
+            node, node.output, node.child.output, pass_name,
+            "TopN must pass its child schema through",
+        )
     elif isinstance(node, (Limit, Distinct)):
         (child,) = node.children()
+        if isinstance(node, Limit) and node.count < 0:
+            raise PlanInvariantError(
+                pass_name, f"Limit count must be >= 0, got {node.count}", node
+            )
         _require_same_schema(
             node, node.output, child.output, pass_name,
             f"{type(node).__name__} must pass its child schema through",
@@ -352,6 +374,8 @@ def physical_output_keys(op: PhysicalOp) -> list[str]:
         return [key for _, key, _ in op.columns]
     if isinstance(op, (PFilter, PSort, PLimit, PDistinct)):
         return physical_output_keys(op.child)
+    if isinstance(op, PTopN):
+        return list(op.output_names)
     if isinstance(op, PProject):
         return [name for name, _ in op.items]
     if isinstance(op, (PHashJoin, PNestedLoopJoin)):

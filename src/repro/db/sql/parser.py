@@ -125,9 +125,24 @@ class _Parser:
                 order_by.append(self._parse_order_item())
         limit = None
         if self._accept_keyword("limit"):
+            # Accept a sign so `LIMIT -5` gets the typed error below rather
+            # than a generic complaint about an unexpected `-` token.
+            negative = (
+                self._current.type is TokenType.OPERATOR
+                and self._current.value == "-"
+            )
+            if negative:
+                self._advance()
             token = self._advance()
             if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
                 raise SqlSyntaxError("LIMIT requires an integer", token.position)
+            if negative:
+                raise SqlSyntaxError(
+                    "LIMIT must be a non-negative integer, got "
+                    f"-{token.value}",
+                    token.position,
+                )
+            # LIMIT 0 is legal: an empty result with the query's schema.
             limit = token.value
         if top_level and self._current.type is not TokenType.END:
             raise SqlSyntaxError(

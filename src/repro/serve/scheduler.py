@@ -590,6 +590,33 @@ class SharedPoolClient:
         self._account(key, result, extract_seconds)
         return self._consume(key, result)
 
+    def release(self, table_name: str, uri: str) -> bool:
+        """Renounce one expected take of a key (Top-N early termination).
+
+        Mirrors :meth:`~repro.core.mountpool.MountPool.release`: the plan
+        proved this branch cannot contribute, so one pending take is
+        dropped; at zero this query's interest is withdrawn from the shared
+        task (a pending task nobody else waits on is reaped before any
+        worker spends an extraction on it). Returns True when this query
+        will not pay for the extraction; the scheduler may still run it for
+        other queries — that is shared-work, not waste.
+        """
+        key: MountKey = (table_name, uri)
+        with self._lock:
+            if key not in self._pending_takes:
+                return False
+            remaining = self._pending_takes[key] - 1
+            if remaining > 0:
+                self._pending_takes[key] = remaining
+                return False
+            self._pending_takes.pop(key, None)
+            held = self._held.pop(key, None) is not None
+            task = self._tasks.pop(key, None)
+        if held or task is None:
+            return False  # already extracted and consumed for this query
+        self._scheduler.withdraw(self._client_id, [task])
+        return True
+
     def close(self) -> None:
         """Withdraw un-consumed interest; the scheduler drops orphan tasks."""
         self.cancel_outstanding()

@@ -19,6 +19,8 @@ import pytest
 from repro.core import TwoStageExecutor, apply_ali_rewrite, decompose
 from repro.db import Database
 from repro.db.plan.rewrite import (
+    cost_based_join_order,
+    fuse_top_n,
     metadata_first_join_order,
     prune_columns,
     push_down_selections,
@@ -44,6 +46,10 @@ def render_snapshot(executor: TwoStageExecutor, sql: str) -> str:
     sections.append(("metadata-first-join-order", plan.explain()))
     plan = push_down_selections(plan)
     sections.append(("push-down-selections (2)", plan.explain()))
+    plan = fuse_top_n(plan)
+    sections.append(("fuse-top-n", plan.explain()))
+    plan = cost_based_join_order(plan, executor.statistics(), classify)
+    sections.append(("cost-based-join-order", plan.explain()))
     plan = prune_columns(plan)
     sections.append(("prune-columns", plan.explain()))
 
@@ -107,6 +113,19 @@ def test_metadata_only_snapshot(ali_db, tiny_repo):
     )
     executor = TwoStageExecutor(ali_db, RepositoryBinding(tiny_repo))
     _check_golden("metadata_only", render_snapshot(executor, sql))
+
+
+def test_top_n_snapshot(ali_db, tiny_repo):
+    """Pins the fuse-top-n and cost-based-join-order passes end to end."""
+    sql = (
+        "SELECT D.sample_time, D.sample_value FROM F "
+        "JOIN R ON F.uri = R.uri "
+        "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id "
+        "WHERE F.station = 'ISK' "
+        "ORDER BY D.sample_time DESC LIMIT 5"
+    )
+    executor = TwoStageExecutor(ali_db, RepositoryBinding(tiny_repo))
+    _check_golden("topn", render_snapshot(executor, sql))
 
 
 def test_snapshot_is_deterministic(ali_db, tiny_repo):
