@@ -1,0 +1,7 @@
+"""Benchmark scripts plus the shared ``--json`` envelope emitter.
+
+A package (not just a directory) so in-repo tooling — ``tools.lint``'s
+``--json`` output, tests asserting the envelope shape — can import
+:mod:`benchmarks.bench_json` instead of duplicating it. The scripts
+themselves are still run directly: ``python benchmarks/bench_topn.py``.
+"""

@@ -30,11 +30,11 @@ URI); re-storing an existing key is an idempotent no-op either way.
 from __future__ import annotations
 
 import enum
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .. import _sync
 from ..db.interval import INF, WHOLE_FILE, Interval, covers
 from ..db.table import ColumnBatch
 
@@ -92,6 +92,7 @@ class _Entry:
         self.nbytes = self.batch.nbytes()
 
 
+@_sync.guarded
 class IngestionCache:
     """Cache of previously mounted file data (the set ``C`` of rule (1))."""
 
@@ -106,19 +107,20 @@ class IngestionCache:
         self.policy = policy
         self.granularity = granularity
         self.capacity_bytes = capacity_bytes
-        self.stats = CacheStats()
+        self.stats = CacheStats()  # guarded-by: _lock
         # Key: uri for FILE granularity, (uri, interval) for TUPLE.
-        self._entries: OrderedDict[object, _Entry] = OrderedDict()
+        self._entries: OrderedDict[object, _Entry] = OrderedDict()  # guarded-by: _lock
         # Reentrant: a locked public method may call another (e.g. store →
         # eviction); reentrancy also keeps single-threaded callers cheap.
-        self._lock = threading.RLock()
+        self._lock = _sync.create_rlock("IngestionCache._lock")
 
     # -- lookup -------------------------------------------------------------
 
-    def _matching_key(self, uri: str, request: Interval) -> Optional[object]:
-        """Find a covering entry. Caller must hold ``self._lock``: the scan
-        over interval entries is a read of state another thread may be
-        rewriting (the read-modify-write this lock exists for)."""
+    def _matching_key_locked(self, uri: str, request: Interval) -> Optional[object]:
+        """Find a covering entry. The ``_locked`` suffix is the contract:
+        the caller holds ``self._lock`` — the scan over interval entries is
+        a read of state another thread may be rewriting (the
+        read-modify-write this lock exists for)."""
         if self.granularity is CacheGranularity.FILE:
             entry = self._entries.get(uri)
             if entry is not None and covers(entry.interval, request):
@@ -134,7 +136,7 @@ class IngestionCache:
     def contains(self, uri: str, request: Interval = WHOLE_FILE) -> bool:
         """Whether rule (1) should emit cache-scan(f) instead of mount(f)."""
         with self._lock:
-            return self._matching_key(uri, request) is not None
+            return self._matching_key_locked(uri, request) is not None
 
     def lookup(
         self,
@@ -150,7 +152,7 @@ class IngestionCache:
         the caller re-mounts the rewritten file instead of serving old rows.
         """
         with self._lock:
-            key = self._matching_key(uri, request)
+            key = self._matching_key_locked(uri, request)
             if key is None:
                 self.stats.misses += 1
                 return None
@@ -216,7 +218,7 @@ class IngestionCache:
             uri, interval
         )
         with self._lock:
-            existing = self._matching_key(uri, interval)
+            existing = self._matching_key_locked(uri, interval)
             if existing is not None:
                 # First store wins; later stores of covered data are no-ops.
                 # This is the cache's whole concurrent-ownership story: N
@@ -249,9 +251,9 @@ class IngestionCache:
             self._entries[key] = entry
             self.stats.insertions += 1
             self.stats.current_bytes += entry.nbytes
-            self._evict_if_needed()
+            self._evict_if_needed_locked()
 
-    def _evict_if_needed(self) -> None:
+    def _evict_if_needed_locked(self) -> None:
         if self.policy is not CachePolicy.LRU:
             return
         assert self.capacity_bytes is not None

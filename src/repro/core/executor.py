@@ -34,6 +34,7 @@ from ..db.plan.logical import (
     ResultScan,
     UnionAll,
 )
+from .. import _sync
 from ..db.stats import StatisticsCatalog, collect_statistics
 from ..ingest.formats import RecordSpan
 from ..ingest.schema import FILE_TABLE, RECORD_TABLE, BindingSet, RepositoryBinding
@@ -102,6 +103,11 @@ class StageTimings:
     mount_failures: MountFailureReport = field(
         default_factory=MountFailureReport
     )
+    # Per-lock acquisition/contention/hold-time counters for this execution,
+    # exported by the tracing layer. Empty unless REPRO_LOCK_TRACE=1 (the
+    # zero-cost default); under a concurrent service the delta attributes
+    # *service-wide* lock activity to this execution's window.
+    lock_stats: dict[str, _sync.LockStats] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -397,8 +403,11 @@ class TwoStageExecutor:
         report under ``on_budget="partial"``.
         """
         governor = self.begin_governed(budget, cancellation)
+        lock_before = _sync.lock_snapshot()
         try:
-            return self._execute_governed(sql, governor)
+            outcome = self._execute_governed(sql, governor)
+            outcome.timings.lock_stats = _sync.lock_snapshot_delta(lock_before)
+            return outcome
         finally:
             self.end_governed(governor)
 

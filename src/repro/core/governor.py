@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from .. import _sync
 from ..db.errors import (
     CircuitOpenError,
     QueryBudgetExceeded,
@@ -51,6 +52,7 @@ _CANCELLED = "cancelled"  # caller-initiated
 _EXPIRED = "expired"  # budget/deadline-initiated
 
 
+@_sync.guarded
 class CancellationToken:
     """Cooperative cancellation, shared across every thread of one query.
 
@@ -63,10 +65,14 @@ class CancellationToken:
 
     def __init__(self) -> None:
         self._event = threading.Event()
-        self._lock = threading.Lock()
-        self._outcome: Optional[str] = None
-        self._reason: str = ""
-        self._callbacks: list[Callable[[], None]] = []
+        self._lock = _sync.create_lock("CancellationToken._lock")
+        # Write-once latch pair: _fire() writes them under _lock exactly
+        # once, then publishes through _event.set(); readers check the
+        # outcome/fired flag first, so the post-publication values are
+        # stable without the lock.
+        self._outcome: Optional[str] = None  # unguarded-ok: write-once latch published by _event.set()
+        self._reason: str = ""  # unguarded-ok: write-once latch published by _event.set()
+        self._callbacks: list[Callable[[], None]] = []  # guarded-by: _lock
 
     @property
     def fired(self) -> bool:
@@ -187,6 +193,7 @@ class TruncationReport:
         )
 
 
+@_sync.guarded
 class QueryGovernor:
     """Per-execution budget enforcement and cancellation fan-out.
 
@@ -219,14 +226,17 @@ class QueryGovernor:
         # sees mounts the moment they complete, not when the query returns.
         self.on_charge = on_charge
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = _sync.create_lock("QueryGovernor._lock")
         self._started = clock()
         self._deadline_at: Optional[float] = None
-        self._trip_reason: Optional[str] = None
-        self.bytes_mounted = 0
-        self.records_decoded = 0
-        self.mounts_completed = 0
-        self.mounts_truncated = 0
+        # _trip_reason is a write-once latch (first _trip wins); readers
+        # (tripped/trip_reason properties, the raise paths) only consume it
+        # after it is set, and it never changes once non-None.
+        self._trip_reason: Optional[str] = None  # unguarded-ok: write-once latch; first _trip() wins
+        self.bytes_mounted = 0  # guarded-by: _lock
+        self.records_decoded = 0  # guarded-by: _lock
+        self.mounts_completed = 0  # guarded-by: _lock
+        self.mounts_truncated = 0  # guarded-by: _lock
         self._timer: Optional[threading.Timer] = None
         if self.budget.deadline_seconds is not None:
             self._deadline_at = self._started + self.budget.deadline_seconds
@@ -310,6 +320,13 @@ class QueryGovernor:
             self.bytes_mounted += bytes_read
             self.records_decoded += records_decoded
             self.mounts_completed += 1
+            # Snapshot the totals this charge produced while still inside
+            # the critical section: the budget comparison below must not
+            # re-read the ledger after the lock drops, where concurrent
+            # charges would make the trip decision (and its message)
+            # depend on worker interleaving.
+            bytes_total = self.bytes_mounted
+            records_total = self.records_decoded
         if self.on_charge is not None:
             # Outside the lock, and before a raise-mode trip below: the
             # tenant ledger must record work that was actually done even
@@ -318,18 +335,18 @@ class QueryGovernor:
         budget = self.budget
         if (
             budget.max_mount_bytes is not None
-            and self.bytes_mounted > budget.max_mount_bytes
+            and bytes_total > budget.max_mount_bytes
         ):
             self._trip(
-                f"mounted {self.bytes_mounted:,} bytes, over the "
+                f"mounted {bytes_total:,} bytes, over the "
                 f"{budget.max_mount_bytes:,}-byte budget"
             )
         if (
             budget.max_decoded_records is not None
-            and self.records_decoded > budget.max_decoded_records
+            and records_total > budget.max_decoded_records
         ):
             self._trip(
-                f"decoded {self.records_decoded:,} records, over the "
+                f"decoded {records_total:,} records, over the "
                 f"{budget.max_decoded_records:,}-record budget"
             )
         if self.tripped and not self.partial:
@@ -343,16 +360,21 @@ class QueryGovernor:
 
     def truncation_report(self) -> Optional[TruncationReport]:
         """The disclosure for this execution, or None when nothing tripped."""
-        if self._trip_reason is None:
+        reason = self._trip_reason
+        if reason is None:
             return None
-        return TruncationReport(
-            reason=self._trip_reason,
-            elapsed_seconds=self.elapsed(),
-            bytes_mounted=self.bytes_mounted,
-            records_decoded=self.records_decoded,
-            mounts_completed=self.mounts_completed,
-            mounts_truncated=self.mounts_truncated,
-        )
+        with self._lock:
+            # One consistent ledger snapshot — a report built from reads
+            # interleaved with concurrent charges could pair this charge's
+            # byte count with the next one's record count.
+            return TruncationReport(
+                reason=reason,
+                elapsed_seconds=self.elapsed(),
+                bytes_mounted=self.bytes_mounted,
+                records_decoded=self.records_decoded,
+                mounts_completed=self.mounts_completed,
+                mounts_truncated=self.mounts_truncated,
+            )
 
 
 # -- circuit breaker -----------------------------------------------------------
@@ -371,6 +393,7 @@ class _Circuit:
     last_error: str = ""
 
 
+@_sync.guarded
 class CircuitBreaker:
     """Cross-query failure scoring per URI, with half-open probe retries.
 
@@ -403,8 +426,8 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown_seconds = cooldown_seconds
         self._clock = clock
-        self._lock = threading.Lock()
-        self._circuits: dict[str, _Circuit] = {}
+        self._lock = _sync.create_lock("CircuitBreaker._lock")
+        self._circuits: dict[str, _Circuit] = {}  # guarded-by: _lock
 
     def allow(self, uri: str) -> bool:
         """May this URI be mounted right now? (May admit a half-open probe.)"""

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Optional
 
+from .. import _sync
 from ..db.buffer import BufferManager
 from ..db.errors import (
     FileIngestError,
@@ -231,7 +232,7 @@ class MountService:
     cache: IngestionCache = field(default_factory=IngestionCache)
     buffers: Optional[BufferManager] = None
     time_column: str = "sample_time"
-    stats: MountStats = field(default_factory=MountStats)
+    stats: MountStats = field(default_factory=MountStats)  # guarded-by: _lock
     pool: Optional["MountPool"] = field(default=None, repr=False)
     on_error: str = FAIL_FAST
     max_retries: int = 2
@@ -254,7 +255,7 @@ class MountService:
     file_span_provider: Optional[Callable[[str], Optional[Interval]]] = field(
         default=None, repr=False
     )
-    failure_report: MountFailureReport = field(
+    failure_report: MountFailureReport = field(  # guarded-by: _lock
         default_factory=MountFailureReport
     )
     # Cooperative cancellation: backoff sleeps and worker waits block on
@@ -269,11 +270,16 @@ class MountService:
     # Session-scoped circuit breaker: survives reset_failures(), so a URI
     # failing across queries stops costing every query a retry ladder.
     breaker: Optional[CircuitBreaker] = field(default=None, repr=False)
-    _quarantined: dict[str, MountFailure] = field(
+    _quarantined: dict[str, MountFailure] = field(  # guarded-by: _lock
         default_factory=dict, repr=False
     )
+    # unguarded-ok: callbacks are registered at wiring time, before any
+    # concurrent mounting starts; workers only iterate the list.
     _callbacks: list[OnMountCallback] = field(default_factory=list)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=lambda: _sync.create_lock("MountService._lock"),
+        repr=False,
+    )
 
     def __post_init__(self) -> None:
         if self.on_error not in ON_ERROR_POLICIES:

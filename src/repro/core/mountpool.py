@@ -66,6 +66,7 @@ from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
+from .. import _sync
 from ..db.interval import hull
 from ..ingest.formats import MountRequest
 from .governor import CancellationToken
@@ -162,6 +163,7 @@ class MountPoolTimings:
         return self.serial_seconds / wall if wall > 0 else 1.0
 
 
+@_sync.guarded
 class MountPool:
     """Fan file extraction out to ``max_workers`` threads, bounded in flight.
 
@@ -195,23 +197,32 @@ class MountPool:
         self.max_workers = max_workers
         self.max_inflight = max_inflight or 2 * max_workers
         self.fail_fast = fail_fast
-        self.timings = MountPoolTimings()
-        self._lock = threading.Lock()
+        self.timings = MountPoolTimings()  # guarded-by: _lock
+        self._lock = _sync.create_lock("MountPool._lock")
         self._slots = threading.Semaphore(self.max_inflight)
+        # unguarded-ok: created/shut down on the consumer thread only;
+        # workers never touch the executor handle itself.
         self._executor: Optional[ThreadPoolExecutor] = None
-        self._futures: dict[MountKey, Future] = {}
-        self._queue: deque[MountKey] = deque()
-        self._live_workers = 0
-        self._pending_takes: dict[MountKey, int] = {}
+        self._futures: dict[MountKey, Future] = {}  # guarded-by: _lock
+        self._queue: deque[MountKey] = deque()  # guarded-by: _lock
+        self._live_workers = 0  # guarded-by: _lock
+        self._pending_takes: dict[MountKey, int] = {}  # guarded-by: _lock
         # Per-key mount request, hull-merged over every prefetch of the key
         # so the single extraction covers all of its takers.
-        self._requests: dict[MountKey, Optional[MountRequest]] = {}
-        self._results: dict[MountKey, "ExtractResult"] = {}
-        self._holds_slot: set[MountKey] = set()
-        self._worker_ids: dict[int, int] = {}
+        self._requests: dict[MountKey, Optional[MountRequest]] = {}  # guarded-by: _lock
+        self._results: dict[MountKey, "ExtractResult"] = {}  # guarded-by: _lock
+        self._holds_slot: set[MountKey] = set()  # guarded-by: _lock
+        self._worker_ids: dict[int, int] = {}  # guarded-by: _lock
+        # unguarded-ok: monotonic False->True flag; workers poll it, the
+        # semaphore release in cancel_outstanding publishes it promptly.
         self._cancelled = False
+        # unguarded-ok: consumer-thread-only lifecycle flag.
         self._closed = False
+        # unguarded-ok: write-once latch (first writer wins under _lock);
+        # take() reads it opportunistically and re-checks after the future
+        # fails, so a missed read only delays the raise by one step.
         self.first_error: Optional[BaseException] = None
+        # unguarded-ok: write-once latch set with first_error under _lock.
         self.failed_uri: Optional[str] = None
 
     # -- lifecycle -----------------------------------------------------------

@@ -14,8 +14,9 @@ components are kept separate in :class:`IoStats` so results stay auditable.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
+
+from .. import _sync
 
 
 @dataclass
@@ -47,6 +48,7 @@ class IoStats:
         )
 
 
+@_sync.guarded
 class BufferManager:
     """Tracks which buffer objects are resident and charges disk reads.
 
@@ -57,31 +59,39 @@ class BufferManager:
 
     def __init__(self, disk: DiskModel | None = None) -> None:
         self.disk = disk or DiskModel()
-        self._resident: set[str] = set()
-        self.stats = IoStats()
+        self._resident: set[str] = set()  # guarded-by: _lock
+        self.stats = IoStats()  # guarded-by: _lock
         # touch() is a read-modify-write of residency + stats and is called
         # concurrently by mount-pool workers; it locks itself so callers
-        # (e.g. MountService._extract) need not serialize around it.
-        self._lock = threading.Lock()
+        # (e.g. MountService._extract) need not serialize around it. The
+        # residency-control methods below take the same lock: a flush() or
+        # warm() racing a worker's touch must not corrupt the set or lose
+        # a charge.
+        self._lock = _sync.create_lock("BufferManager._lock")
 
     # -- residency control (cold/hot switch) ---------------------------------
 
     def flush(self) -> None:
         """Evict everything — the 'restart the server' of the paper."""
-        self._resident.clear()
+        with self._lock:
+            self._resident.clear()
 
     def reset_stats(self) -> None:
-        self.stats = IoStats()
+        with self._lock:
+            self.stats = IoStats()
 
     def is_resident(self, name: str) -> bool:
-        return name in self._resident
+        with self._lock:
+            return name in self._resident
 
     def warm(self, name: str, nbytes: int) -> None:
         """Mark an object resident without charging I/O (hot-run setup)."""
-        self._resident.add(name)
+        with self._lock:
+            self._resident.add(name)
 
     def resident_objects(self) -> set[str]:
-        return set(self._resident)
+        with self._lock:
+            return set(self._resident)
 
     # -- the read path ---------------------------------------------------------
 

@@ -66,6 +66,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from .. import _sync
 from ..core.governor import CancellationToken
 from ..core.mounting import ExtractResult
 from ..core.mountpool import (
@@ -179,6 +180,7 @@ class _FileTask:
     event: threading.Event = field(default_factory=threading.Event)
 
 
+@_sync.guarded
 class MountScheduler:
     """The shared files-of-interest scheduler behind a query service.
 
@@ -204,32 +206,48 @@ class MountScheduler:
         self.policy = policy or SchedulerPolicy()
         self.workers = workers
         self._clock = clock
-        self._lock = threading.Lock()
-        self._wakeup = threading.Condition(self._lock)
-        self._tasks: dict[MountKey, _FileTask] = {}
-        self._seq = itertools.count()
+        self._lock = _sync.create_lock("MountScheduler._lock")
+        # The wakeup condition *shares* _lock: waiters and mutators
+        # serialize on one mutex, so `with self._wakeup:` is `with
+        # self._lock:` plus the ability to park.
+        self._wakeup = _sync.create_condition(
+            "MountScheduler._wakeup", self._lock
+        )
+        self._tasks: dict[MountKey, _FileTask] = {}  # guarded-by: _lock
+        self._seq = itertools.count()  # guarded-by: _lock
+        # unguarded-ok: itertools.count.__next__ is atomic in CPython; the
+        # id handed out only needs uniqueness, not ordering.
         self._client_ids = itertools.count(1)
-        self._threads: list[threading.Thread] = []
-        self._stop = False
-        self.stats = SchedulerStats()
+        self._threads: list[threading.Thread] = []  # guarded-by: _lock
+        self._stop = False  # guarded-by: _lock
+        self.stats = SchedulerStats()  # guarded-by: _lock
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
         """Spawn the worker threads (idempotent). ``workers=0`` is legal:
         consumers then run every extraction through the steal path, which
-        is the deterministic single-threaded mode the tests use."""
+        is the deterministic single-threaded mode the tests use.
+
+        The thread list is created *and registered* under the lock before
+        anything starts: two concurrent ``start()`` calls used to both see
+        an empty ``_threads`` (the check and the appends were in separate
+        lock regions) and double-spawn the worker fleet.
+        """
         with self._lock:
             if self._threads or self.workers == 0:
                 return
             self._stop = False
-        for index in range(self.workers):
-            thread = threading.Thread(
-                target=self._worker_loop,
-                name=f"serve-mount-{index}",
-                daemon=True,
-            )
-            self._threads.append(thread)
+            spawned = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"serve-mount-{index}",
+                    daemon=True,
+                )
+                for index in range(self.workers)
+            ]
+            self._threads.extend(spawned)
+        for thread in spawned:
             thread.start()
 
     def close(self) -> None:
@@ -239,9 +257,12 @@ class MountScheduler:
         with self._wakeup:
             self._stop = True
             self._wakeup.notify_all()
-        for thread in self._threads:
+            # Snapshot + clear under the lock; joining happens outside it
+            # (a worker may need the lock to observe _stop and exit).
+            stopping = list(self._threads)
+            self._threads.clear()
+        for thread in stopping:
             thread.join(timeout=5.0)
-        self._threads.clear()
 
     def __enter__(self) -> "MountScheduler":
         self.start()
@@ -504,6 +525,7 @@ class MountScheduler:
             )
 
 
+@_sync.guarded
 class SharedPoolClient:
     """One query's MountPool-compatible view of the shared scheduler.
 
@@ -538,12 +560,12 @@ class SharedPoolClient:
         self._client_id = client_id
         self._token = token
         self._governor = governor
-        self.timings = MountPoolTimings()
-        self._tasks: dict[MountKey, _FileTask] = {}
-        self._pending_takes: dict[MountKey, int] = {}
-        self._held: dict[MountKey, ExtractResult] = {}
-        self._charged: set[MountKey] = set()
-        self._lock = threading.Lock()
+        self.timings = MountPoolTimings()  # guarded-by: _lock
+        self._tasks: dict[MountKey, _FileTask] = {}  # guarded-by: _lock
+        self._pending_takes: dict[MountKey, int] = {}  # guarded-by: _lock
+        self._held: dict[MountKey, ExtractResult] = {}  # guarded-by: _lock
+        self._charged: set[MountKey] = set()  # guarded-by: _lock
+        self._lock = _sync.create_lock("SharedPoolClient._lock")
         if token is not None:
             token.on_cancel(self.cancel_outstanding)
 

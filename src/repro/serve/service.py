@@ -43,11 +43,11 @@ own tenant's breaker.
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from .. import _sync
 from ..core.cache import WHOLE_FILE, CachePolicy, CacheStats, IngestionCache
 from ..core.executor import TwoStageExecutor, TwoStageResult
 from ..core.governor import CancellationToken, CircuitBreaker, QueryBudget
@@ -173,6 +173,7 @@ class ServiceStats:
         return "\n".join(lines)
 
 
+@_sync.guarded
 class QueryService:
     """Admits concurrent queries against one shared repository + database.
 
@@ -237,16 +238,17 @@ class QueryService:
             policy=scheduler_policy,
             workers=mount_workers,
         )
-        self._lock = threading.Lock()
-        self._tenants: dict[str, TenantState] = {}
-        self._inline_bytes = 0  # coverage-fallback extractions, query-side
-        self._completed = 0
-        self._failed = 0
-        self._record_spans: dict[str, tuple[RecordSpan, ...]] = {}
-        self._record_spans_source: Optional[object] = None
-        self._record_lock = threading.Lock()
-        self._pool: Optional[ThreadPoolExecutor] = None
-        self._closed = False
+        self._lock = _sync.create_lock("QueryService._lock")
+        self._tenants: dict[str, TenantState] = {}  # guarded-by: _lock
+        # Coverage-fallback extractions, query-side.
+        self._inline_bytes = 0  # guarded-by: _lock
+        self._completed = 0  # guarded-by: _lock
+        self._failed = 0  # guarded-by: _lock
+        self._record_spans: dict[str, tuple[RecordSpan, ...]] = {}  # guarded-by: _record_lock
+        self._record_spans_source: Optional[object] = None  # guarded-by: _record_lock
+        self._record_lock = _sync.create_lock("QueryService._record_lock")
+        self._pool: Optional[ThreadPoolExecutor] = None  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     # -- lifecycle -----------------------------------------------------------
 

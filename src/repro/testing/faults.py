@@ -119,9 +119,9 @@ class FaultPlan:
         # Wire a cancellation token's event here so injected latency is
         # interruptible exactly like production waits.
         self.interrupt = interrupt
-        self.log: list[InjectedFault] = []
+        self.log: list[InjectedFault] = []  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._read_counts: dict[str, int] = {}
+        self._read_counts: dict[str, int] = {}  # guarded-by: _lock
 
     @classmethod
     def seeded(

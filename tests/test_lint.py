@@ -14,15 +14,19 @@ sys.path.insert(0, str(REPO_ROOT))
 
 from tools.lint import DEFAULT_RULES, run_lint  # noqa: E402
 from tools.lint.framework import iter_python_files, parse_file  # noqa: E402
+from tools.lint.rules import BlockingCallInLockRule  # noqa: E402
 
 
 def _lint_source(
-    tmp_path: Path, source: str, relpath: str = "repro/core/mod.py"
+    tmp_path: Path,
+    source: str,
+    relpath: str = "repro/core/mod.py",
+    rules=None,
 ) -> list:
     target = tmp_path / relpath
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(textwrap.dedent(source), encoding="utf-8")
-    return run_lint([str(tmp_path)], DEFAULT_RULES)
+    return run_lint([str(tmp_path)], DEFAULT_RULES if rules is None else rules)
 
 
 def _rules_fired(violations: list) -> set[str]:
@@ -79,6 +83,11 @@ def test_extraction_error_wrap_silent_outside_extraction_paths(tmp_path):
     assert "extraction-error-wrap" not in _rules_fired(violations)
 
 
+# The lexical blocking-call rule left DEFAULT_RULES (the whole-program
+# analyzer in tools/lint/concurrency.py supersedes it with call-graph
+# depth) but stays importable; these tests drive it explicitly.
+
+
 def test_blocking_call_in_lock_fires(tmp_path):
     violations = _lint_source(
         tmp_path,
@@ -91,6 +100,7 @@ def test_blocking_call_in_lock_fires(tmp_path):
                     time.sleep(0.1)
         """,
         relpath="anywhere.py",
+        rules=[BlockingCallInLockRule()],
     )
     assert _rules_fired(violations) == {"blocking-call-in-lock"}
 
@@ -108,6 +118,7 @@ def test_blocking_call_outside_lock_is_fine(tmp_path):
                 time.sleep(0.1)
         """,
         relpath="anywhere.py",
+        rules=[BlockingCallInLockRule()],
     )
     assert violations == []
 
@@ -128,6 +139,7 @@ def test_blocking_call_in_nested_function_not_flagged(tmp_path):
                     self._callback = backoff
         """,
         relpath="anywhere.py",
+        rules=[BlockingCallInLockRule()],
     )
     assert violations == []
 
@@ -225,6 +237,23 @@ def test_uninterruptible_sleep_fires_in_ingest(tmp_path):
     assert "uninterruptible-sleep" in _rules_fired(violations)
 
 
+def test_uninterruptible_sleep_fires_in_serve(tmp_path):
+    # The service layer holds queries for other tenants; an uninterruptible
+    # sleep there is as bad as one in core, so repro/serve is governed too.
+    violations = _lint_source(
+        tmp_path,
+        """
+        import time
+
+        def drain() -> None:
+            time.sleep(0.5)
+        """,
+        relpath="repro/serve/mod.py",
+    )
+    fired = [v for v in violations if v.rule == "uninterruptible-sleep"]
+    assert len(fired) == 1
+
+
 def test_uninterruptible_sleep_silent_outside_governed_packages(tmp_path):
     violations = _lint_source(
         tmp_path,
@@ -265,10 +294,67 @@ def test_iter_python_files_expands_directories(tmp_path):
     assert [f.name for f in files] == ["a.py", "b.py"]
 
 
+def test_iter_python_files_dedupes_overlapping_paths(tmp_path):
+    # A file named both directly and through its directory must lint (and
+    # therefore report) once, not twice.
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n")
+    files = list(iter_python_files([str(tmp_path), str(target)]))
+    assert len(files) == 1
+    # Same via a non-normalized spelling of the directory.
+    files = list(
+        iter_python_files([str(tmp_path), str(tmp_path / "." / "mod.py")])
+    )
+    assert len(files) == 1
+
+
+def test_duplicate_path_args_report_each_violation_once(tmp_path):
+    seeded = tmp_path / "seeded.py"
+    seeded.write_text(
+        "def f():\n    try:\n        pass\n    except:\n        pass\n"
+    )
+    violations = run_lint([str(tmp_path), str(seeded)], DEFAULT_RULES)
+    assert len([v for v in violations if v.rule == "bare-except"]) == 1
+
+
 def test_parse_file_tolerates_syntax_errors(tmp_path):
     bad = tmp_path / "bad.py"
     bad.write_text("def broken(:\n")
     assert parse_file(bad) is None
+
+
+def test_parent_chain_orders_inner_to_module(tmp_path):
+    import ast
+
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "class C:\n    def m(self):\n        with self._lock:\n"
+        "            return 1\n"
+    )
+    ctx = parse_file(target)
+    assert ctx is not None
+    ret = next(n for n in ast.walk(ctx.tree) if isinstance(n, ast.Return))
+    chain = [type(n).__name__ for n in ctx.parent_chain(ret)]
+    assert chain == ["With", "FunctionDef", "ClassDef", "Module"]
+
+
+def test_violation_sort_is_total_and_stable(tmp_path):
+    # run_lint orders by (path, line, col, rule): two findings on one line
+    # tie-break by rule name, so output order never depends on rule
+    # registration order.
+    violations = _lint_source(
+        tmp_path,
+        """
+        import time
+
+        def f(items=[]) -> None:
+            time.sleep(0.1)
+        """,
+        relpath="repro/core/mod.py",
+    )
+    keys = [(v.path, v.line, v.col, v.rule) for v in violations]
+    assert keys == sorted(keys)
+    assert len(violations) >= 2
 
 
 def test_violations_sorted_and_rendered(tmp_path):
@@ -319,3 +405,46 @@ def test_cli_exits_one_on_seeded_violation(tmp_path):
     )
     assert proc.returncode == 1
     assert "bare-except" in proc.stdout
+
+
+def test_cli_json_emits_benchmark_envelope(tmp_path):
+    import json
+
+    seeded = tmp_path / "seeded.py"
+    seeded.write_text("def f():\n    try:\n        pass\n    except:\n        pass\n")
+    out = tmp_path / "lint.json"
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "tools.lint", str(seeded),
+            "--json", str(out),
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    payload = json.loads(out.read_text())
+    # The same envelope every benchmarks/*.py --json emits.
+    assert payload["benchmark"] == "lint"
+    assert payload["params"]["mode"] == "rules"
+    assert len(payload["results"]) == 1
+    assert payload["results"][0]["rule"] == "bare-except"
+
+
+def test_cli_concurrency_mode_clean_on_src(tmp_path):
+    out = tmp_path / "conc.json"
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "tools.lint", "--concurrency", "src",
+            "--json", str(out),
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    import json
+
+    payload = json.loads(out.read_text())
+    assert payload["params"]["mode"] == "concurrency"
+    assert payload["results"] == []

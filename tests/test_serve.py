@@ -237,6 +237,49 @@ class TestSchedulerUnit:
         assert sched.pending_tasks() == 0
 
 
+class TestSchedulerLifecycle:
+    def test_concurrent_start_spawns_workers_once(self):
+        """Regression: start() used to check ``self._threads`` outside the
+        lock, so two racing callers could each see the empty list and spawn
+        a double complement of workers."""
+        workers = 3
+        sched = MountScheduler(
+            lambda *a: _result(),
+            policy=SchedulerPolicy(batch_window_seconds=0.0),
+            workers=workers,
+        )
+        barrier = threading.Barrier(4)
+
+        def start() -> None:
+            barrier.wait(2.0)
+            sched.start()
+
+        starters = [threading.Thread(target=start) for _ in range(4)]
+        for t in starters:
+            t.start()
+        for t in starters:
+            t.join(2.0)
+        with sched._lock:
+            spawned = list(sched._threads)
+        assert len(spawned) == workers
+        sched.close()
+        assert all(not t.is_alive() for t in spawned)
+
+    def test_close_is_idempotent_and_restartable(self):
+        sched = MountScheduler(
+            lambda *a: _result(),
+            policy=SchedulerPolicy(batch_window_seconds=0.0),
+            workers=2,
+        )
+        sched.start()
+        sched.close()
+        sched.close()  # second close finds no threads to join
+        sched.start()  # restart spawns a fresh complement
+        with sched._lock:
+            assert len(sched._threads) == 2
+        sched.close()
+
+
 # -- end-to-end equivalence ---------------------------------------------------
 
 

@@ -8,3 +8,7 @@ from .framework import FileContext, Rule, Violation, run_lint
 from .rules import DEFAULT_RULES
 
 __all__ = ["FileContext", "Rule", "Violation", "run_lint", "DEFAULT_RULES"]
+
+# The whole-program concurrency analyzer (tools.lint.concurrency) is
+# imported lazily by __main__ — `from tools.lint.concurrency import
+# analyze` for programmatic use.

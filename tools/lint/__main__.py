@@ -1,22 +1,79 @@
 """CLI entry point: ``python -m tools.lint [paths...]``.
 
 Exits 1 when any rule fires — wired into CI next to pytest.
+
+* ``--concurrency`` runs the whole-program lock analyzer
+  (:mod:`tools.lint.concurrency`) instead of the per-file rules:
+  ``python -m tools.lint --concurrency src``.
+* ``--json OUT`` also writes findings in the shared benchmark envelope
+  (:mod:`benchmarks.bench_json`) so CI uploads lint results alongside the
+  performance artifacts.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
-from .framework import run_lint
+from .framework import Violation, run_lint
 from .rules import DEFAULT_RULES
+
+# Repository root on sys.path so `benchmarks.bench_json` (the shared
+# envelope emitter) resolves no matter where the module was launched from.
+_REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _emit_json(out: str, mode: str, paths: list[str], violations: list[Violation]) -> None:
+    if str(_REPO_ROOT) not in sys.path:
+        sys.path.insert(0, str(_REPO_ROOT))
+    from benchmarks.bench_json import emit_json
+
+    emit_json(
+        out,
+        benchmark="lint",
+        params={"mode": mode, "paths": paths},
+        results=violations,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    paths = list(argv if argv is not None else sys.argv[1:]) or ["src", "tests"]
-    violations = run_lint(paths, DEFAULT_RULES)
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description="Project lint: AST-checked engineering discipline.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--concurrency", action="store_true",
+        help="run the whole-program concurrency analyzer (lock-order "
+        "inversions, condition waits, guarded-by discipline, blocking "
+        "calls reachable under locks) instead of the per-file rules",
+    )
+    parser.add_argument(
+        "--json", metavar="OUT", default=None,
+        help="also write findings to OUT in the shared benchmark "
+        "envelope shape",
+    )
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+
+    paths = list(args.paths) or ["src", "tests"]
+    if args.concurrency:
+        from .concurrency import analyze
+
+        mode = "concurrency"
+        violations = analyze(paths)
+    else:
+        mode = "rules"
+        violations = run_lint(paths, DEFAULT_RULES)
+
     for violation in violations:
         print(violation.render())
+    if args.json is not None:
+        _emit_json(args.json, mode, paths, violations)
     if violations:
         print(f"{len(violations)} lint violation(s)")
         return 1

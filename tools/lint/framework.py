@@ -88,13 +88,27 @@ class Rule:
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
-    """Expand the given files/directories into ``.py`` files, sorted."""
+    """Expand the given files/directories into ``.py`` files, sorted.
+
+    Deduplicated by resolved path: a file named both directly and via a
+    parent directory (``tools.lint src src/repro/core/cache.py``) is
+    yielded — and therefore parsed and reported — exactly once.
+    """
+    seen: set[Path] = set()
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
         elif path.suffix == ".py":
-            yield path
+            candidates = [path]
+        else:
+            continue
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key in seen:
+                continue
+            seen.add(key)
+            yield candidate
 
 
 def parse_file(path: Path) -> Optional[FileContext]:

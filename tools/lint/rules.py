@@ -10,15 +10,17 @@ to learn.
 * ``blocking-call-in-lock`` — no ``time.sleep``/subprocess/system calls
   lexically inside a ``with ...lock...:`` body (the MountService/
   BufferManager critical sections must stay short; backoff sleeps belong
-  outside the lock).
+  outside the lock). Superseded by the call-graph-deep
+  ``blocking-under-lock`` check in :mod:`tools.lint.concurrency`; kept
+  importable but no longer in :data:`DEFAULT_RULES`.
 * ``mutable-default-arg`` — no ``def f(x=[])``-style defaults; shared
   mutable state across calls.
 * ``missing-annotations`` — public functions in ``repro/core`` and
   ``repro/db/plan`` must annotate every named parameter and the return
   type; these two packages are the plan-correctness core the verifier
   leans on.
-* ``uninterruptible-sleep`` — no ``time.sleep`` anywhere in ``repro/core``
-  or ``repro/ingest``: those layers run under a query governor whose
+* ``uninterruptible-sleep`` — no ``time.sleep`` anywhere in ``repro/core``,
+  ``repro/ingest``, or ``repro/serve``: those layers run under a query governor whose
   deadlines and cancellations wake threads through events, and a plain
   sleep is a wait the governor cannot interrupt (the retry-backoff bug:
   a cancelled query used to sleep out its whole ladder). Wait on
@@ -64,7 +66,10 @@ BLOCKING_CALLS = {
 ANNOTATED_PACKAGES = ("repro/core", "repro/db/plan")
 
 # Packages whose waits must be governor-interruptible (no time.sleep).
-GOVERNED_PACKAGES = ("repro/core", "repro/ingest")
+# repro/serve joined the list when the scheduler's batch-window and aging
+# loops landed: every wait there must honor CancellationToken/Condition
+# timeouts, or a shed/cancelled tenant blocks the whole scheduler.
+GOVERNED_PACKAGES = ("repro/core", "repro/ingest", "repro/serve")
 
 # Same-line escape hatch for waits that genuinely run outside any query.
 SLEEP_ALLOW_COMMENT = "lint: allow-uninterruptible-sleep"
@@ -273,10 +278,14 @@ class UninterruptibleSleepRule(Rule):
             )
 
 
+# BlockingCallInLockRule is not in the default set anymore: the
+# whole-program analyzer (tools/lint/concurrency.py, `--concurrency`)
+# supersedes its lexical check with call-graph depth — it sees a blocking
+# call N frames below the `with` block, not just inside it. The class stays
+# importable for targeted use and its own tests.
 DEFAULT_RULES: list[Rule] = [
     BareExceptRule(),
     ExtractionErrorWrapRule(),
-    BlockingCallInLockRule(),
     MutableDefaultArgRule(),
     MissingAnnotationsRule(),
     UninterruptibleSleepRule(),
