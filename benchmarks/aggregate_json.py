@@ -1,0 +1,96 @@
+"""Fold per-benchmark ``--json`` envelopes into one ``bench_summary.json``.
+
+Every benchmark script emits the shared envelope (see :mod:`bench_json`):
+``{benchmark, generated_at, python, params, results}``. CI runs each smoke
+with its own output file; this script gathers them into a single summary
+artifact so a regression dashboard (or a human) reads one file per run
+instead of chasing N artifacts::
+
+    PYTHONPATH=src python benchmarks/aggregate_json.py \\
+        --out bench_summary.json governor.json serve.json ...
+
+The summary keys benchmarks by name, keeps each envelope verbatim, and
+records which inputs were missing or unparsable — a bench that failed to
+emit shows up as an entry in ``skipped``, not as a silently absent key.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+
+def aggregate(paths: Sequence[Path]) -> dict:
+    benchmarks: dict[str, dict] = {}
+    skipped: list[dict] = []
+    for path in paths:
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            skipped.append({"path": str(path), "reason": str(exc)})
+            continue
+        name = envelope.get("benchmark")
+        if not isinstance(name, str) or "results" not in envelope:
+            skipped.append(
+                {"path": str(path), "reason": "not a benchmark envelope"}
+            )
+            continue
+        if name in benchmarks:
+            skipped.append(
+                {"path": str(path), "reason": f"duplicate benchmark {name!r}"}
+            )
+            continue
+        benchmarks[name] = envelope
+    return {
+        "benchmarks": {k: benchmarks[k] for k in sorted(benchmarks)},
+        "skipped": skipped,
+        "count": len(benchmarks),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Merge benchmark --json envelopes into one summary"
+    )
+    parser.add_argument(
+        "inputs", nargs="+", metavar="ENVELOPE.json",
+        help="per-benchmark envelope files (missing ones are recorded, "
+        "not fatal)",
+    )
+    parser.add_argument(
+        "--out", default="bench_summary.json", metavar="OUT",
+        help="summary output path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--require", type=int, default=None, metavar="N",
+        help="exit 1 unless at least N envelopes aggregated cleanly",
+    )
+    args = parser.parse_args(argv)
+
+    summary = aggregate([Path(p) for p in args.inputs])
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(summary, indent=2) + "\n")
+    print(
+        f"aggregated {summary['count']} benchmark(s) into {out}"
+        + (
+            f" ({len(summary['skipped'])} skipped)"
+            if summary["skipped"]
+            else ""
+        )
+    )
+    for entry in summary["skipped"]:
+        print(f"  skipped {entry['path']}: {entry['reason']}")
+    if args.require is not None and summary["count"] < args.require:
+        print(
+            f"FAIL: expected >={args.require} envelopes, "
+            f"got {summary['count']}"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

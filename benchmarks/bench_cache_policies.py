@@ -64,6 +64,7 @@ def test_cache_config(small_env, benchmark, policy, granularity, capacity):
     print(
         f"\n{policy.value}/{granularity.value}: "
         f"{stats.mounts} mounts, {stats.cache_scans} cache-scans, "
+        f"lookup hit rate {executor.cache.stats.hit_rate():.1%}, "
         f"cache {executor.cache.stats.current_bytes:,} bytes"
     )
 

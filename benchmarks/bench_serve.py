@@ -67,6 +67,7 @@ class ServeRun:
     starved_grants: int
     max_wait_ms: float
     cache_hits: int
+    cache_hit_rate: float
     queries_shed: int
 
 
@@ -91,6 +92,7 @@ def summarize(report: ComparisonReport, mount_workers: int, bias: float) -> Serv
         starved_grants=sched.starved_grants,
         max_wait_ms=sched.max_wait_seconds * 1e3,
         cache_hits=report.service_stats.cache.hits,
+        cache_hit_rate=report.service_stats.cache.hit_rate(),
         queries_shed=report.service_stats.queries_shed,
     )
 

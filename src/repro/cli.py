@@ -124,6 +124,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "far and report the truncation",
     )
     query.add_argument(
+        "--cache-policy",
+        choices=("discard", "unbounded", "lru", "adaptive"),
+        default="discard",
+        help="ingestion-cache retention: discard = the paper's default "
+        "(nothing survives the query); unbounded = retain everything; lru = "
+        "byte-budgeted least-recently-used; adaptive = byte-budgeted with "
+        "workload-learned (LRU-2) eviction and per-file whole-file "
+        "promotion (repo mode only)",
+    )
+    query.add_argument(
+        "--cache-bytes", type=_positive_int, default=256_000_000,
+        metavar="B",
+        help="cache capacity for --cache-policy lru/adaptive "
+        "(default 256 MB)",
+    )
+    query.add_argument(
+        "--metastore", action="store_true",
+        help="persist derived metadata (record byte maps, time hulls, file "
+        "signatures) to a sidecar in the repository root and reuse it on "
+        "the next run: unchanged files skip the header walk entirely; "
+        "changed files fall back to live extraction (repo mode only)",
+    )
+    query.add_argument(
         "--verify-plans", action="store_true",
         help="check structural plan invariants after every rewrite pass, "
         "the two-stage split, and the stage-2 rewrite; abort with the "
@@ -181,6 +204,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-queue-depth", type=int, default=None, metavar="D",
         help="per-tenant admission limit on in-flight queries; beyond it "
         "submissions are shed with a typed error instead of queued",
+    )
+    serve.add_argument(
+        "--prefetch", action="store_true",
+        help="predictive prefetch: after each query, extrapolate the "
+        "tenant's next time window (sliding/zooming patterns) and warm the "
+        "shared cache through low-priority scheduler hints that run only "
+        "when no real query is waiting",
     )
     return parser
 
@@ -260,7 +290,32 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     repo = FileRepository(args.repo, suffix=(".xseed", ".tscsv"))
     db = Database(verify_plans=True if args.verify_plans else None)
-    lazy_ingest_metadata(db, repo)
+    metastore = None
+    if args.metastore:
+        from .core.metastore import MetadataStore
+
+        metastore = MetadataStore.for_repository(repo.root)
+        metastore.load()
+    report = lazy_ingest_metadata(db, repo, metastore=metastore)
+    if metastore is not None and report.files_reused:
+        print(
+            f"(metastore: {report.files_reused}/{report.files} files "
+            f"reused, no header walk)",
+            file=sys.stderr,
+        )
+    cache = None
+    if args.cache_policy != "discard":
+        from .core.cache import CacheGranularity, CachePolicy, IngestionCache
+
+        policy = CachePolicy(args.cache_policy)
+        capacity = (
+            args.cache_bytes
+            if policy in (CachePolicy.LRU, CachePolicy.ADAPTIVE)
+            else None
+        )
+        cache = IngestionCache(
+            policy, CacheGranularity.TUPLE, capacity_bytes=capacity
+        )
     budget = None
     if (
         args.deadline_seconds is not None
@@ -276,6 +331,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     executor = TwoStageExecutor(
         db,
         RepositoryBinding(repo),
+        cache=cache,
         mount_workers=args.mount_workers,
         on_mount_error=args.on_mount_error,
         selective_mounts=not args.no_selective_mounts,
@@ -369,6 +425,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         scheduler_policy=policy,
         mount_workers=args.mount_workers,
         default_policy=TenantPolicy(max_queue_depth=args.max_queue_depth),
+        prefetch=args.prefetch,
     )
     try:
         report = run_comparison(

@@ -7,6 +7,13 @@ rule (1) onto mount/cache-scan access paths, the ingestion cache design
 space, derived metadata, and multi-stage execution.
 """
 
+from .advisor import (
+    CacheAdvisor,
+    PredictedWindow,
+    PrefetchStats,
+    SessionPrefetcher,
+    WorkloadPredictor,
+)
 from .breakpoint import BreakpointInfo
 from .cache import (
     CacheGranularity,
@@ -56,6 +63,7 @@ from .mounting import (
     MountStats,
     interval_from_predicate,
 )
+from .metastore import MetadataStore, MetastoreStats
 from .mountpool import (
     MountPool,
     MountPoolTimings,
@@ -75,6 +83,13 @@ from .verify import verify_ali_rewrite, verify_decomposition
 
 __all__ = [
     "BreakpointInfo",
+    "CacheAdvisor",
+    "PredictedWindow",
+    "PrefetchStats",
+    "SessionPrefetcher",
+    "WorkloadPredictor",
+    "MetadataStore",
+    "MetastoreStats",
     "CachePolicy",
     "CacheGranularity",
     "CacheStats",

@@ -5,8 +5,10 @@ The paper's default discards mounted data as soon as the query finishes
 management as an open challenge (§5). This module implements the design
 space that challenge spans:
 
-* **policies** — DISCARD (paper default), UNBOUNDED, and LRU with a byte
-  budget,
+* **policies** — DISCARD (paper default), UNBOUNDED, LRU with a byte
+  budget, and ADAPTIVE (byte-budgeted like LRU, but eviction order comes
+  from a :class:`~repro.core.advisor.CacheAdvisor`'s LRU-2 scores, and the
+  advisor's access counts drive per-URI granularity promotion),
 * **granularities** — FILE (cache whole files) and TUPLE (cache only the
   tuples inside the requested time interval; §3: "combined selections with
   cache-scans even lets the cache storage be tuple-granular").
@@ -18,25 +20,31 @@ otherwise the file must be mounted again, exactly the trade-off §3 points
 out. Re-mounting with wider coverage replaces the entries it subsumes
 (widen-on-remount), so coverage only ever grows until invalidation.
 
+Interval entries are reachable two ways: the LRU-ordered entry table, and a
+per-URI secondary index (``_by_uri``) that makes TUPLE-granularity lookups,
+widen-on-remount subsumption and invalidation proportional to *one file's*
+entries instead of the whole cache — the index is maintained by the same
+locked mutations that touch the entry table, so the two can never disagree.
+
 The cache is shared by every worker of a :class:`~repro.core.mountpool.MountPool`,
 so all public operations take an internal lock: lookups (which move LRU
 entries), stores (insertion + byte accounting + eviction) and invalidation
-are each atomic. Interval bookkeeping in ``_matching_key`` iterates the
-entry table and is therefore only called with the lock held. File-level
-double mounting is prevented one layer up (the pool single-flights per
-URI); re-storing an existing key is an idempotent no-op either way.
+are each atomic. File-level double mounting is prevented one layer up (the
+pool single-flights per URI); re-storing an existing key is an idempotent
+no-op either way.
 """
 
 from __future__ import annotations
 
 import enum
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from .. import _sync
 from ..db.interval import INF, WHOLE_FILE, Interval, covers
 from ..db.table import ColumnBatch
+from .advisor import CacheAdvisor
 
 __all__ = [
     "INF",
@@ -62,6 +70,7 @@ class CachePolicy(enum.Enum):
     DISCARD = "discard"  # the paper's default: never retain
     UNBOUNDED = "unbounded"  # retain everything
     LRU = "lru"  # retain within a byte budget, evict least recently used
+    ADAPTIVE = "adaptive"  # byte budget + advisor-scored (LRU-2) eviction
 
 
 class CacheGranularity(enum.Enum):
@@ -80,6 +89,17 @@ class CacheStats:
     duplicate_stores: int = 0  # no-op stores: a covering entry already existed
     current_bytes: int = 0
 
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 with no lookups)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """All counters plus the derived hit rate, for reports and JSON."""
+        payload: dict[str, object] = asdict(self)
+        payload["hit_rate"] = self.hit_rate()
+        return payload
+
 
 @dataclass
 class _Entry:
@@ -92,6 +112,11 @@ class _Entry:
         self.nbytes = self.batch.nbytes()
 
 
+def _uri_of(key: object) -> str:
+    """The URI behind a cache key (plain for FILE, first slot for TUPLE)."""
+    return key[0] if isinstance(key, tuple) else key  # type: ignore[return-value]
+
+
 @_sync.guarded
 class IngestionCache:
     """Cache of previously mounted file data (the set ``C`` of rule (1))."""
@@ -101,15 +126,28 @@ class IngestionCache:
         policy: CachePolicy = CachePolicy.DISCARD,
         granularity: CacheGranularity = CacheGranularity.FILE,
         capacity_bytes: Optional[int] = None,
+        advisor: Optional[CacheAdvisor] = None,
     ) -> None:
-        if policy is CachePolicy.LRU and capacity_bytes is None:
-            raise ValueError("LRU policy requires capacity_bytes")
+        if (
+            policy in (CachePolicy.LRU, CachePolicy.ADAPTIVE)
+            and capacity_bytes is None
+        ):
+            raise ValueError(f"{policy.value} policy requires capacity_bytes")
         self.policy = policy
         self.granularity = granularity
         self.capacity_bytes = capacity_bytes
+        # The adaptive policy needs an advisor; other policies accept one
+        # (its history still drives granularity promotion) but don't require
+        # it. The advisor locks itself — lock order is cache → advisor.
+        if advisor is None and policy is CachePolicy.ADAPTIVE:
+            advisor = CacheAdvisor()
+        self.advisor = advisor
         self.stats = CacheStats()  # guarded-by: _lock
         # Key: uri for FILE granularity, (uri, interval) for TUPLE.
         self._entries: OrderedDict[object, _Entry] = OrderedDict()  # guarded-by: _lock
+        # Per-URI secondary index over _entries' keys: lookups, subsumption
+        # and invalidation scan one file's entries, not the whole table.
+        self._by_uri: dict[str, set[object]] = {}  # guarded-by: _lock
         # Reentrant: a locked public method may call another (e.g. store →
         # eviction); reentrancy also keeps single-threaded callers cheap.
         self._lock = _sync.create_rlock("IngestionCache._lock")
@@ -118,18 +156,16 @@ class IngestionCache:
 
     def _matching_key_locked(self, uri: str, request: Interval) -> Optional[object]:
         """Find a covering entry. The ``_locked`` suffix is the contract:
-        the caller holds ``self._lock`` — the scan over interval entries is
-        a read of state another thread may be rewriting (the
+        the caller holds ``self._lock`` — the scan over one URI's interval
+        entries is a read of state another thread may be rewriting (the
         read-modify-write this lock exists for)."""
         if self.granularity is CacheGranularity.FILE:
             entry = self._entries.get(uri)
             if entry is not None and covers(entry.interval, request):
                 return uri
             return None
-        for key, entry in self._entries.items():
-            if isinstance(key, tuple) and key[0] == uri and covers(
-                entry.interval, request
-            ):
+        for key in self._by_uri.get(uri, ()):
+            if covers(self._entries[key].interval, request):
                 return key
         return None
 
@@ -151,6 +187,8 @@ class IngestionCache:
         that file is stale: all are invalidated and the lookup misses, so
         the caller re-mounts the rewritten file instead of serving old rows.
         """
+        if self.advisor is not None:
+            self.advisor.note_access(uri)
         with self._lock:
             key = self._matching_key_locked(uri, request)
             if key is None:
@@ -171,9 +209,33 @@ class IngestionCache:
 
     def cached_uris(self) -> set[str]:
         with self._lock:
-            if self.granularity is CacheGranularity.FILE:
-                return {key for key in self._entries}  # type: ignore[misc]
-            return {key[0] for key in self._entries}  # type: ignore[index]
+            return set(self._by_uri)
+
+    # -- workload adaptation ---------------------------------------------------
+
+    def wants_whole_file(self, uri: str) -> bool:
+        """Whether the workload history says ``uri`` should mount whole.
+
+        Only the adaptive policy promotes (other policies have no mandate to
+        trade speculative bytes for future hits); the mount layer consults
+        this before building a selective request.
+        """
+        return (
+            self.policy is CachePolicy.ADAPTIVE
+            and self.advisor is not None
+            and self.advisor.wants_whole_file(uri)
+        )
+
+    def granularity_for(self, uri: str) -> CacheGranularity:
+        """Effective store granularity for one file: a hot URI under the
+        adaptive policy is retained whole even in a TUPLE-granular cache
+        (the entry's coverage then satisfies every later window)."""
+        if (
+            self.granularity is CacheGranularity.TUPLE
+            and self.wants_whole_file(uri)
+        ):
+            return CacheGranularity.FILE
+        return self.granularity
 
     # -- store ---------------------------------------------------------------
 
@@ -201,9 +263,11 @@ class IngestionCache:
         """
         if self.policy is CachePolicy.DISCARD:
             return
+        if self.advisor is not None:
+            self.advisor.note_access(uri)
         entry = _Entry(interval, batch, signature)  # sized outside the lock
         if (
-            self.policy is CachePolicy.LRU
+            self.policy in (CachePolicy.LRU, CachePolicy.ADAPTIVE)
             and self.capacity_bytes is not None
             and entry.nbytes > self.capacity_bytes
         ):
@@ -235,32 +299,61 @@ class IngestionCache:
             # coverage subsumes before inserting the wider one.
             doomed = [
                 k
-                for k, e in self._entries.items()
-                if (k == uri or (isinstance(k, tuple) and k[0] == uri))
-                and covers(interval, e.interval)
+                for k in self._by_uri.get(uri, ())
+                if covers(interval, self._entries[k].interval)
             ]
             for k in doomed:
-                old = self._entries.pop(k)
-                self.stats.current_bytes -= old.nbytes
+                self._remove_entry_locked(k)
             # A same-key entry the new coverage does *not* subsume (disjoint
             # FILE-granularity re-store) is still replaced below — account
             # for it, or current_bytes drifts upward forever.
-            displaced = self._entries.pop(key, None)
-            if displaced is not None:
-                self.stats.current_bytes -= displaced.nbytes
+            if key in self._entries:
+                self._remove_entry_locked(key)
             self._entries[key] = entry
+            self._by_uri.setdefault(uri, set()).add(key)
             self.stats.insertions += 1
             self.stats.current_bytes += entry.nbytes
             self._evict_if_needed_locked()
 
+    def _remove_entry_locked(self, key: object) -> None:
+        """Drop one entry and its index slot, adjusting byte accounting."""
+        entry = self._entries.pop(key)
+        self.stats.current_bytes -= entry.nbytes
+        uri = _uri_of(key)
+        keys = self._by_uri.get(uri)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_uri[uri]
+
     def _evict_if_needed_locked(self) -> None:
-        if self.policy is not CachePolicy.LRU:
+        if self.policy not in (CachePolicy.LRU, CachePolicy.ADAPTIVE):
             return
         assert self.capacity_bytes is not None
         while self.stats.current_bytes > self.capacity_bytes and self._entries:
-            _, entry = self._entries.popitem(last=False)
-            self.stats.current_bytes -= entry.nbytes
+            self._remove_entry_locked(self._victim_locked())
             self.stats.evictions += 1
+
+    def _victim_locked(self) -> object:
+        """The next eviction victim under the active policy.
+
+        LRU: the least recently used entry (front of the ordered table).
+        ADAPTIVE: the entry whose URI has the lowest LRU-2 score — files
+        seen fewer than twice (score -1) go first, ties fall back to LRU
+        order because the scan walks the table oldest-first. The scan is
+        O(entries), which is fine: eviction is rare next to lookup, and the
+        per-URI index keeps the hot path (lookup) off full scans.
+        """
+        if self.policy is not CachePolicy.ADAPTIVE or self.advisor is None:
+            return next(iter(self._entries))
+        best_key: Optional[object] = None
+        best_score = 0
+        for key in self._entries:
+            score = self.advisor.eviction_score(_uri_of(key))
+            if best_key is None or score < best_score:
+                best_key, best_score = key, score
+        assert best_key is not None
+        return best_key
 
     # -- maintenance -----------------------------------------------------------
 
@@ -275,14 +368,9 @@ class IngestionCache:
             return self._invalidate_locked(uri)
 
     def _invalidate_locked(self, uri: str) -> int:
-        doomed = [
-            key
-            for key in self._entries
-            if key == uri or (isinstance(key, tuple) and key[0] == uri)
-        ]
+        doomed = list(self._by_uri.get(uri, ()))
         for key in doomed:
-            entry = self._entries.pop(key)
-            self.stats.current_bytes -= entry.nbytes
+            self._remove_entry_locked(key)
             self.stats.invalidations += 1
         return len(doomed)
 
@@ -290,6 +378,7 @@ class IngestionCache:
         with self._lock:
             self.stats.invalidations += len(self._entries)
             self._entries.clear()
+            self._by_uri.clear()
             self.stats.current_bytes = 0
 
     def __len__(self) -> int:

@@ -265,6 +265,11 @@ class TwoStageExecutor:
             Callable[[Optional[CancellationToken]], MountPool]
         ] = None
         self.charge_hook: Optional[Callable[[int, int], None]] = None
+        # The last executed query's fused actual-data time interval (None
+        # when unbounded or metadata-only) — the workload predictor's input.
+        # unguarded-ok: written by the single executing thread between
+        # queries; readers (session prefetch hooks) run on that same thread.
+        self.last_query_interval: Optional[tuple[int, int]] = None
         if derived is not None:
             self.mounts.add_mount_callback(derived.on_mount)
 
@@ -419,6 +424,11 @@ class TwoStageExecutor:
         started = time.perf_counter()
         decomposition = self.prepare(sql)
         timings.compile_seconds = time.perf_counter() - started
+        self.last_query_interval = (
+            self._query_interval(decomposition)
+            if decomposition.qs is not None
+            else None
+        )
 
         ctx = self.db.make_context(mounter=self.mounts, governor=governor)
         breakpoint_info = BreakpointInfo()

@@ -178,6 +178,9 @@ class MountStats:
     early_terminated_branches: int = 0  # union branches skipped by Top-N proof
     early_cancelled_mounts: int = 0  # pending mounts released before extraction
     whole_file_requests: int = 0  # selective requests widened: interval covers file
+    adaptive_whole_file: int = 0  # requests widened by the cache's hot-file promotion
+    prefetched_mounts: int = 0  # speculative extractions stored ahead of a query
+    prefetched_bytes: int = 0  # bytes read by those speculative extractions
 
 
 @dataclass(frozen=True)
@@ -358,6 +361,14 @@ class MountService:
         )
         if interval == WHOLE_FILE:
             return None
+        if self.cache.wants_whole_file(uri):
+            # Workload promotion: the advisor has seen this file often enough
+            # that caching it whole beats re-mounting window after window.
+            # Mount whole once; the cache retains whole-file coverage and
+            # every later window over this file becomes a cache scan.
+            with self._lock:
+                self.stats.adaptive_whole_file += 1
+            return None
         if self.file_span_provider is not None and interval[0] <= interval[1]:
             # Cost choice: when the interval covers the file's whole metadata
             # span, every record overlaps it — selective extraction would
@@ -443,7 +454,7 @@ class MountService:
             predicate, f"{alias}.{self.time_column}"
         )
         signature = self._store_signature(uri, table_name)
-        if self.cache.granularity is CacheGranularity.TUPLE:
+        if self.cache.granularity_for(uri) is CacheGranularity.TUPLE:
             narrowed = _interval_mask_batch(batch, self.time_column, interval)
             self.cache.store(uri, narrowed, interval, signature=signature)
             batch = narrowed
@@ -452,6 +463,67 @@ class MountService:
                 uri, batch, result.coverage, signature=signature
             )
         return self._deliver(batch, alias, predicate)
+
+    def prefetch_into_cache(
+        self, uri: str, table_name: str, interval: Interval
+    ) -> tuple[str, int]:
+        """Speculatively extract ``interval`` of one file into the cache.
+
+        The predictive-prefetch entry point: called off the query path (the
+        :class:`~repro.core.advisor.SessionPrefetcher`'s worker thread), it
+        must never make an answer wrong or a budget lie — so it stores
+        exactly what a real mount of the same interval would store, and
+        declines whenever retention is off, the breaker distrusts the file,
+        or the governor's budget is already tight. Returns an outcome label
+        (``stored`` / ``covered`` / ``blocked`` / ``budget`` / ``disabled``
+        / ``error``) plus the bytes read, for the prefetcher's accounting.
+        """
+        if self.cache.policy is CachePolicy.DISCARD:
+            return ("disabled", 0)  # nothing stored would survive the call
+        if self.breaker is not None and self.breaker.likely_blocked(uri):
+            return ("blocked", 0)
+        if self.governor is not None and self.governor.should_truncate:
+            return ("budget", 0)
+        if self.cache.contains(uri, interval):
+            return ("covered", 0)
+        request: Optional[MountRequest] = None
+        if (
+            self.selective
+            and interval != WHOLE_FILE
+            and not self.cache.wants_whole_file(uri)
+        ):
+            records: Optional[tuple[RecordSpan, ...]] = None
+            if self.record_map_provider is not None:
+                records = self.record_map_provider(uri, table_name)
+            request = MountRequest(interval=interval, records=records)
+            if request.selects_nothing:
+                return ("covered", 0)
+        try:
+            result = self._extract(uri, table_name, request)
+        except IngestError as exc:
+            if self.breaker is not None and isinstance(exc, FileIngestError):
+                self.breaker.record_failure(uri, exc)
+            return ("error", 0)
+        if self.breaker is not None:
+            self.breaker.record_success(uri)
+        signature = self._store_signature(uri, table_name)
+        coverage = WHOLE_FILE if request is None else interval
+        if (
+            request is not None
+            and self.cache.granularity_for(uri) is CacheGranularity.TUPLE
+        ):
+            narrowed = _interval_mask_batch(
+                result.batch, self.time_column, interval
+            )
+            self.cache.store(uri, narrowed, interval, signature=signature)
+        else:
+            self.cache.store(
+                uri, result.batch, coverage, signature=signature
+            )
+        with self._lock:
+            self.stats.prefetched_mounts += 1
+            self.stats.prefetched_bytes += result.bytes_read
+        return ("stored", result.bytes_read)
 
     def _obtain(
         self, uri: str, table_name: str, request: Optional[MountRequest]

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Protocol, Union, runtime_checkable
+from typing import Any, Optional, Protocol, Union, runtime_checkable
 
 from ..db.database import Database, QueryResult
 from ..db.types import format_timestamp, parse_timestamp
+from ..core.advisor import SessionPrefetcher
 from ..core.executor import TwoStageExecutor, TwoStageResult
 from ..core.governor import ON_BUDGET_RAISE, QueryBudget
 from ..core.mounting import ON_ERROR_POLICIES
@@ -89,6 +90,13 @@ class ExplorationSession:
     max_mount_bytes: Union[int, None] = None
     max_decoded_records: Union[int, None] = None
     on_budget: str = ON_BUDGET_RAISE
+    # Predictive prefetch (two-stage engine only, the CLI's --prefetch):
+    # after each query, the workload predictor extrapolates the next window
+    # from the session's interval history and warms the ingestion cache in
+    # the background. `prefetcher` is injectable for tests (e.g. a
+    # synchronous one); prefetch=True builds the default.
+    prefetch: bool = False
+    prefetcher: Optional[SessionPrefetcher] = None
 
     def __post_init__(self) -> None:
         if self.mount_workers is not None:
@@ -129,11 +137,31 @@ class ExplorationSession:
                 max_decoded_records=self.max_decoded_records,
                 on_budget=self.on_budget,
             )
+        if self.prefetch or self.prefetcher is not None:
+            if not isinstance(self.engine, TwoStageExecutor):
+                raise ValueError(
+                    "prefetch applies only to a TwoStageExecutor engine"
+                )
+            if self.prefetcher is None:
+                self.prefetcher = SessionPrefetcher(
+                    self.engine.mounts, self.engine.statistics
+                )
+
+    def close(self) -> None:
+        """Stop the background prefetcher, if one is running."""
+        if self.prefetcher is not None:
+            self.prefetcher.close()
 
     def run(self, sql: str, note: str = "") -> QueryResult:
         started = time.perf_counter()
         outcome = self.engine.execute(sql)
         elapsed = time.perf_counter() - started
+        if self.prefetcher is not None and isinstance(outcome, TwoStageResult):
+            # Feed the predictor this query's fused time window; a confident
+            # extrapolation warms the cache while the explorer reads the
+            # answer. Runs after the query, so answers are never affected.
+            assert isinstance(self.engine, TwoStageExecutor)
+            self.prefetcher.observe(self.engine.last_query_interval)
         if isinstance(outcome, TwoStageResult):
             result = outcome.result
             mounted = result.stats.files_mounted

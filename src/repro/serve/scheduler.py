@@ -160,6 +160,8 @@ class SchedulerStats:
     bytes_extracted: int = 0
     bytes_shared: int = 0
     max_wait_seconds: float = 0.0
+    hints_registered: int = 0  # speculative prefetch tasks accepted
+    hint_extractions: int = 0  # hint tasks actually extracted by a worker
 
 
 @dataclass
@@ -173,6 +175,10 @@ class _FileTask:
     born_at: float = 0.0  # real (monotonic) time, drives the batch window
     state: str = TASK_PENDING
     waiters: dict[int, float] = field(default_factory=dict)  # client → t
+    # Speculative prefetch task: no waiters of its own, runs only when no
+    # real task pends, survives waiter-less reaping while pending. A real
+    # query registering on the key joins it like any pending task.
+    hint: bool = False
     consumers: int = 0
     result: Optional[ExtractResult] = None
     error: Optional[BaseException] = None
@@ -199,12 +205,19 @@ class MountScheduler:
         policy: Optional[SchedulerPolicy] = None,
         workers: int = 2,
         clock: Callable[[], float] = time.monotonic,
+        on_hint_result: Optional[
+            Callable[[MountKey, Optional[MountRequest], ExtractResult], None]
+        ] = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self._extract = extract
         self.policy = policy or SchedulerPolicy()
         self.workers = workers
+        # Called (outside the lock) with each completed hint task's key,
+        # request and result — the service stores it into the shared cache.
+        # unguarded-ok: set at construction, read-only afterwards.
+        self._on_hint_result = on_hint_result
         self._clock = clock
         self._lock = _sync.create_lock("MountScheduler._lock")
         # The wakeup condition *shares* _lock: waiters and mutators
@@ -322,6 +335,43 @@ class MountScheduler:
             self._wakeup.notify_all()
         return joined
 
+    def hint(self, tasks: Sequence) -> int:
+        """Register speculative prefetch tasks; returns how many were accepted.
+
+        Hints are the predictive-prefetch entry point: waiter-less tasks a
+        worker extracts only when no *real* (waiter-having) task is pending,
+        so speculation can never delay a query. Keys with a live task are
+        skipped (the real task already covers them); a completed hint's
+        result is handed to ``on_hint_result`` for cache storage. Task specs
+        are the same ``(table_name, uri, request?)`` tuples ``register``
+        takes.
+        """
+        accepted = 0
+        now = self._clock()
+        with self._wakeup:
+            if self._stop:
+                return 0
+            for task_spec in tasks:
+                table_name, uri = task_spec[0], task_spec[1]
+                request = task_spec[2] if len(task_spec) > 2 else None
+                key: MountKey = (table_name, uri)
+                if key in self._tasks:
+                    continue
+                self._tasks[key] = _FileTask(
+                    key=key,
+                    request=request,
+                    seq=next(self._seq),
+                    enqueued_at=now,
+                    born_at=time.monotonic(),
+                    hint=True,
+                )
+                self.stats.tasks_created += 1
+                self.stats.hints_registered += 1
+                accepted += 1
+            if accepted:
+                self._wakeup.notify_all()
+        return accepted
+
     def withdraw(self, client_id: int, tasks: Sequence[_FileTask]) -> None:
         """Drop a client's remaining interest (query done or cancelled).
 
@@ -426,15 +476,26 @@ class MountScheduler:
         mature_before = time.monotonic() - window
         best: Optional[_FileTask] = None
         best_rank: tuple[float, float] = (0.0, 0.0)
+        best_hint: Optional[_FileTask] = None
         for task in self._tasks.values():
-            if task.state != TASK_PENDING or not task.waiters:
+            if task.state != TASK_PENDING:
+                continue
+            if not task.waiters:
+                # Waiter-less pending tasks are speculative hints (an
+                # abandoned real task would have been reaped): lowest
+                # priority class, oldest first, no batch window — nobody is
+                # waiting, so there is nothing to hull-merge with.
+                if task.hint and (
+                    best_hint is None or task.seq < best_hint.seq
+                ):
+                    best_hint = task
                 continue
             if window > 0 and task.born_at > mature_before:
                 continue  # still inside its batch window
             rank = (self._priority(task, now), -task.seq)
             if best is None or rank > best_rank:
                 best, best_rank = task, rank
-        return best
+        return best if best is not None else best_hint
 
     def _worker_loop(self) -> None:
         while True:
@@ -478,9 +539,19 @@ class MountScheduler:
             task.extract_seconds = time.perf_counter() - started
             self.stats.tasks_extracted += 1
             self.stats.bytes_extracted += result.bytes_read
+            if task.hint:
+                self.stats.hint_extractions += 1
             self._reap_locked(task)
             self._wakeup.notify_all()
         task.event.set()
+        if task.hint and self._on_hint_result is not None:
+            # Outside the lock: the callback stores into the shared cache
+            # (which locks itself). A failing store only loses the
+            # speculative benefit — it must never take down a worker.
+            try:
+                self._on_hint_result(task.key, task.request, result)
+            except Exception:  # noqa: BLE001 - speculative, best-effort
+                pass
 
     def _grant(
         self, client_id: int, task: _FileTask
@@ -512,6 +583,8 @@ class MountScheduler:
         """Drop a finished (or abandoned-pending) task once nobody waits."""
         if task.waiters:
             return
+        if task.hint and task.state == TASK_PENDING:
+            return  # hints are waiter-less by design; keep until run
         if task.state in (TASK_DONE, TASK_FAILED, TASK_PENDING):
             if self._tasks.get(task.key) is task:
                 del self._tasks[task.key]

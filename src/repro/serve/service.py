@@ -48,6 +48,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from .. import _sync
+from ..core.advisor import WorkloadPredictor
 from ..core.cache import WHOLE_FILE, CachePolicy, CacheStats, IngestionCache
 from ..core.executor import TwoStageExecutor, TwoStageResult
 from ..core.governor import CancellationToken, CircuitBreaker, QueryBudget
@@ -57,13 +58,14 @@ from ..core.mounting import (
     ExtractResult,
     MountService,
 )
+from ..db.interval import overlaps
 from ..db.database import Database
 from ..db.errors import QueryShedError
 from ..ingest.formats import MountRequest, RecordSpan
 from ..ingest.lazy import lazy_ingest_metadata
-from ..ingest.schema import RECORD_TABLE, BindingSet, RepositoryBinding
+from ..ingest.schema import FILE_TABLE, RECORD_TABLE, BindingSet, RepositoryBinding
 from ..mseed.repository import FileRepository
-from .scheduler import MountScheduler, SchedulerPolicy, SchedulerStats
+from .scheduler import MountKey, MountScheduler, SchedulerPolicy, SchedulerStats
 
 
 @dataclass(frozen=True)
@@ -117,6 +119,10 @@ class TenantState:
     shed: int = 0
     bytes_charged: int = 0
     records_charged: int = 0
+    # Per-tenant workload predictor (locks itself): each tenant's query
+    # stream has its own sliding/zooming shape; mixing tenants' windows
+    # would predict nobody's next query.
+    predictor: WorkloadPredictor = field(default_factory=WorkloadPredictor)
 
 
 @dataclass(frozen=True)
@@ -161,7 +167,8 @@ class ServiceStats:
             f"(bytes re-served: {self.scheduler.bytes_shared})",
             f"starved grants: {self.scheduler.starved_grants}, "
             f"max wait: {self.scheduler.max_wait_seconds:.3f}s",
-            f"cache: {self.cache.hits} hits, {self.cache.misses} misses, "
+            f"cache: {self.cache.hits} hits, {self.cache.misses} misses "
+            f"({self.cache.hit_rate():.1%} hit rate), "
             f"{self.cache.duplicate_stores} duplicate stores",
         ]
         for tenant in self.tenants:
@@ -202,6 +209,7 @@ class QueryService:
         max_concurrent_queries: int = 8,
         selective_mounts: bool = True,
         verify_plans: Optional[bool] = None,
+        prefetch: bool = False,
     ) -> None:
         if max_concurrent_queries < 1:
             raise ValueError("max_concurrent_queries must be >= 1")
@@ -215,7 +223,8 @@ class QueryService:
             if cache is not None
             else IngestionCache(policy=CachePolicy.UNBOUNDED)
         )
-        self.bindings = BindingSet.single(RepositoryBinding(repository))
+        self._binding = RepositoryBinding(repository)
+        self.bindings = BindingSet.single(self._binding)
         self.default_policy = default_policy or TenantPolicy()
         self.selective_mounts = selective_mounts
         self.verify_plans = verify_plans
@@ -233,10 +242,17 @@ class QueryService:
             selective=selective_mounts,
         )
         self._shared_mounts.record_map_provider = self._record_map
+        # Predictive prefetch: after each completed query, the tenant's
+        # predictor extrapolates the next window and the overlapping files
+        # are registered as scheduler *hints* — waiter-less tasks run only
+        # when no real query is waiting; their results land in the shared
+        # cache via _store_hint.
+        self.prefetch = prefetch
         self.scheduler = MountScheduler(
             self._shared_extract,
             policy=scheduler_policy,
             workers=mount_workers,
+            on_hint_result=self._store_hint,
         )
         self._lock = _sync.create_lock("QueryService._lock")
         self._tenants: dict[str, TenantState] = {}  # guarded-by: _lock
@@ -246,6 +262,8 @@ class QueryService:
         self._failed = 0  # guarded-by: _lock
         self._record_spans: dict[str, tuple[RecordSpan, ...]] = {}  # guarded-by: _record_lock
         self._record_spans_source: Optional[object] = None  # guarded-by: _record_lock
+        self._file_span_map: dict[str, tuple[int, int]] = {}  # guarded-by: _record_lock
+        self._file_span_source: Optional[object] = None  # guarded-by: _record_lock
         self._record_lock = _sync.create_lock("QueryService._record_lock")
         self._pool: Optional[ThreadPoolExecutor] = None  # guarded-by: _lock
         self._closed = False  # guarded-by: _lock
@@ -383,6 +401,11 @@ class QueryService:
             with self._lock:
                 state.completed += 1
                 self._completed += 1
+            if self.prefetch:
+                # After the answer is already delivered-able: feed the
+                # tenant's predictor and register hints. Purely additive —
+                # a wrong prediction costs idle-worker bytes, never answers.
+                self._prefetch_for(state, executor)
             return result
         finally:
             with self._lock:
@@ -426,6 +449,88 @@ class QueryService:
             token=token, governor=executor._governor
         )
         return executor
+
+    # -- predictive prefetch ---------------------------------------------------
+
+    def _prefetch_for(
+        self, state: TenantState, executor: TwoStageExecutor
+    ) -> int:
+        """Extrapolate the tenant's next window; hint the overlapping files.
+
+        Skips files the tenant's breaker distrusts and intervals the shared
+        cache already covers; everything else becomes a waiter-less hint
+        task the scheduler runs only when no real query waits. Returns the
+        number of hints accepted (for tests and ops).
+        """
+        predicted = state.predictor.observe_and_predict(
+            executor.last_query_interval
+        )
+        if predicted is None:
+            return 0
+        table = self._binding.actual_table
+        hints: list[tuple[str, str, Optional[MountRequest]]] = []
+        for uri, span in self._file_spans().items():
+            if not overlaps(predicted.interval, span[0], span[1]):
+                continue
+            if state.breaker.likely_blocked(uri):
+                continue
+            if self.cache.contains(uri, predicted.interval):
+                continue
+            records = (
+                self._record_map(uri, table) if self.selective_mounts else None
+            )
+            request = (
+                MountRequest(interval=predicted.interval, records=records)
+                if self.selective_mounts
+                else None
+            )
+            hints.append((table, uri, request))
+        if not hints:
+            return 0
+        return self.scheduler.hint(hints)
+
+    def _file_spans(self) -> dict[str, tuple[int, int]]:
+        """Service-wide memo of uri → (start, end) from the ``F`` table,
+        batch-keyed like the record-map memo (rebuilt on metadata loads)."""
+        if not self.db.catalog.has_table(FILE_TABLE):
+            return {}
+        batch = self.db.catalog.table(FILE_TABLE).batch
+        with self._record_lock:
+            if self._file_span_source is not batch:
+                required = ("uri", "start_time", "end_time")
+                if any(name not in batch.names for name in required):
+                    return {}
+                self._file_span_map = {
+                    u: (int(s), int(e))
+                    for u, s, e in zip(
+                        batch.column("uri").to_pylist(),
+                        batch.column("start_time").to_pylist(),
+                        batch.column("end_time").to_pylist(),
+                    )
+                }
+                self._file_span_source = batch
+            return self._file_span_map
+
+    def _store_hint(
+        self,
+        key: MountKey,
+        request: Optional[MountRequest],
+        result: ExtractResult,
+    ) -> None:
+        """Retain one completed hint extraction in the shared cache.
+
+        The scheduler's extract function does not store (query-side takes
+        store after consumption); hints have no consumer, so without this
+        the speculative work would evaporate. A ``bytes_read == 0`` result
+        was served *from* the cache — nothing new to store.
+        """
+        if result.bytes_read == 0 and result.io_seconds == 0.0:
+            return
+        table_name, uri = key
+        signature = self._shared_mounts._store_signature(uri, table_name)
+        self.cache.store(
+            uri, result.batch, result.coverage, signature=signature
+        )
 
     # -- shared extraction ---------------------------------------------------
 

@@ -1,0 +1,314 @@
+"""Workload advisor: LRU-2 scores, window prediction, and prefetch.
+
+Covers the three adaptive pieces in :mod:`repro.core.advisor` plus their
+integration with the cache (granularity promotion, flood resistance) and
+the executor (a synchronous prefetch round turning the next query into a
+cache scan without changing its answer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CacheAdvisor,
+    CacheGranularity,
+    CachePolicy,
+    IngestionCache,
+    SessionPrefetcher,
+    TwoStageExecutor,
+    WorkloadPredictor,
+)
+from repro.db import Database
+from repro.db.types import format_timestamp, parse_timestamp
+from repro.ingest import RepositoryBinding, lazy_ingest_metadata
+
+_MINUTE_US = 60 * 1_000_000
+
+
+class TestCacheAdvisor:
+    def test_one_timers_score_minus_one(self):
+        advisor = CacheAdvisor()
+        advisor.note_access("a")
+        assert advisor.eviction_score("a") == -1
+        assert advisor.eviction_score("never-seen") == -1
+
+    def test_lru2_prefers_older_penultimate_access(self):
+        advisor = CacheAdvisor()
+        # a: accesses 1, 2; b: accesses 3, 4. Penultimate(a)=1 < 3.
+        advisor.note_access("a")
+        advisor.note_access("a")
+        advisor.note_access("b")
+        advisor.note_access("b")
+        assert advisor.eviction_score("a") < advisor.eviction_score("b")
+        # A fresh one-timer still sorts below both.
+        advisor.note_access("c")
+        assert advisor.eviction_score("c") < advisor.eviction_score("a")
+
+    def test_promotion_threshold(self):
+        advisor = CacheAdvisor(whole_file_threshold=3)
+        for _ in range(2):
+            advisor.note_access("hot")
+        assert not advisor.wants_whole_file("hot")
+        advisor.note_access("hot")
+        assert advisor.wants_whole_file("hot")
+
+    def test_profile_snapshot(self):
+        advisor = CacheAdvisor()
+        assert advisor.profile("x") is None
+        advisor.note_access("x")
+        advisor.note_access("x")
+        profile = advisor.profile("x")
+        assert profile.count == 2
+        assert profile.prev_seq == 1
+        assert profile.last_seq == 2
+        assert len(advisor) == 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CacheAdvisor(whole_file_threshold=0)
+
+
+class TestWorkloadPredictor:
+    BASE = parse_timestamp("2010-01-10T12:00:00.000")
+    WIDTH = 30 * _MINUTE_US
+
+    def _window(self, i, width=None):
+        width = width or self.WIDTH
+        lo = self.BASE + i * (self.WIDTH // 2)
+        return (lo, lo + width)
+
+    def test_cold_trail_predicts_nothing(self):
+        predictor = WorkloadPredictor()
+        assert predictor.predict() is None
+        assert predictor.observe_and_predict(self._window(0)) is None
+
+    def test_slide_extrapolates_next_step(self):
+        predictor = WorkloadPredictor(widen_fraction=0.0)
+        predictor.observe(self._window(0))
+        predicted = predictor.observe_and_predict(self._window(1))
+        assert predicted is not None
+        assert predicted.kind == "slide"
+        assert predicted.interval == self._window(2)
+
+    def test_widening_covers_sloppy_slides(self):
+        predictor = WorkloadPredictor(widen_fraction=0.25)
+        predictor.observe(self._window(0))
+        predicted = predictor.observe_and_predict(self._window(1))
+        margin = self.WIDTH // 4
+        expected = self._window(2)
+        assert predicted.interval == (
+            expected[0] - margin, expected[1] + margin
+        )
+
+    def test_move_on_jump_is_unpredictable(self):
+        predictor = WorkloadPredictor()
+        predictor.observe(self._window(0))
+        # Same width but a jump far beyond 2x the window: MOVE_ON.
+        assert predictor.observe_and_predict(self._window(40)) is None
+
+    def test_zoom_in_contracts_around_center(self):
+        predictor = WorkloadPredictor(widen_fraction=0.0)
+        wide = (self.BASE, self.BASE + 4 * self.WIDTH)
+        center = (wide[0] + wide[1]) // 2
+        half = self.WIDTH
+        predictor.observe(wide)
+        predicted = predictor.observe_and_predict(
+            (center - half, center + half)
+        )
+        assert predicted is not None
+        assert predicted.kind == "zoom-in"
+        lo, hi = predicted.interval
+        assert wide[0] < lo < hi < wide[1]
+        assert hi - lo < 2 * half
+
+    def test_zoom_out_expands_around_center(self):
+        predictor = WorkloadPredictor(widen_fraction=0.0)
+        half = self.WIDTH
+        center = self.BASE + 4 * self.WIDTH
+        predictor.observe((center - half, center + half))
+        predicted = predictor.observe_and_predict(
+            (center - 2 * half, center + 2 * half)
+        )
+        assert predicted is not None
+        assert predicted.kind == "zoom-out"
+        lo, hi = predicted.interval
+        assert lo < center - 2 * half
+        assert hi > center + 2 * half
+
+    def test_none_and_empty_windows_ignored(self):
+        predictor = WorkloadPredictor()
+        predictor.observe(self._window(0))
+        predictor.observe(None)
+        predictor.observe((self.BASE, self.BASE - 1))  # empty
+        predicted = predictor.observe_and_predict(self._window(1))
+        assert predicted is not None and predicted.kind == "slide"
+
+
+class TestAdaptiveCacheIntegration:
+    def _batch(self, nbytes):
+        # The cache charges ColumnBatch.nbytes(); a stub with the right
+        # surface keeps the test focused on policy mechanics.
+        class _Stub:
+            def __init__(self, n):
+                self._n = n
+
+            def nbytes(self):
+                return self._n
+
+            @property
+            def num_rows(self):
+                return 1
+
+        return _Stub(nbytes)
+
+    def test_flood_cannot_evict_twice_touched_file(self):
+        cache = IngestionCache(
+            CachePolicy.ADAPTIVE, CacheGranularity.FILE, capacity_bytes=300
+        )
+        cache.store("hot", self._batch(100), signature=None)
+        assert cache.lookup("hot") is not None  # second access: reuse history
+        for i in range(6):
+            cache.store(f"sweep-{i}", self._batch(100), signature=None)
+        assert cache.stats.evictions > 0
+        assert cache.lookup("hot") is not None
+        assert cache.contains("hot")
+
+    def test_plain_lru_would_have_evicted_it(self):
+        cache = IngestionCache(
+            CachePolicy.LRU, CacheGranularity.FILE, capacity_bytes=300
+        )
+        cache.store("hot", self._batch(100), signature=None)
+        assert cache.lookup("hot") is not None
+        for i in range(6):
+            cache.store(f"sweep-{i}", self._batch(100), signature=None)
+        assert cache.lookup("hot") is None
+
+    def test_granularity_promotion_flips_to_file(self):
+        advisor = CacheAdvisor(whole_file_threshold=3)
+        cache = IngestionCache(
+            CachePolicy.ADAPTIVE,
+            CacheGranularity.TUPLE,
+            capacity_bytes=10_000,
+            advisor=advisor,
+        )
+        for _ in range(3):
+            advisor.note_access("hot")
+        assert cache.wants_whole_file("hot")
+        assert cache.granularity_for("hot") is CacheGranularity.FILE
+        assert cache.granularity_for("cold") is CacheGranularity.TUPLE
+
+
+class TestSessionPrefetcher:
+    def _sql(self, lo_us, hi_us):
+        return (
+            "SELECT COUNT(*) AS n, AVG(D.sample_value) AS a "
+            "FROM F JOIN D ON F.uri = D.uri "
+            "WHERE F.station = 'ISK' "
+            f"AND D.sample_time >= '{format_timestamp(lo_us)}' "
+            f"AND D.sample_time < '{format_timestamp(hi_us)}'"
+        )
+
+    def _sliding(self, steps):
+        base = parse_timestamp("2010-01-10T08:00:00.000")
+        width = 60 * _MINUTE_US
+        return [
+            (base + i * (width // 2), base + i * (width // 2) + width)
+            for i in range(steps)
+        ]
+
+    def _executor(self, tiny_repo, prefetch_cache=True):
+        db = Database()
+        lazy_ingest_metadata(db, tiny_repo)
+        cache = IngestionCache(CachePolicy.UNBOUNDED, CacheGranularity.TUPLE)
+        return TwoStageExecutor(
+            db,
+            RepositoryBinding(tiny_repo),
+            cache=cache,
+            selective_mounts=True,
+        )
+
+    def test_synchronous_round_warms_next_window(self, tiny_repo):
+        executor = self._executor(tiny_repo)
+        prefetcher = SessionPrefetcher(
+            executor.mounts, executor.statistics, synchronous=True
+        )
+        windows = self._sliding(3)
+        plain = self._executor(tiny_repo)
+        expected = [
+            plain.execute(self._sql(lo, hi)).rows for lo, hi in windows
+        ]
+
+        rows = []
+        for lo, hi in windows:
+            rows.append(executor.execute(self._sql(lo, hi)).rows)
+            prefetcher.observe((lo, hi))
+        assert rows == expected
+
+        stats = prefetcher.stats
+        assert stats.observed == 3
+        assert stats.predictions >= 1
+        assert stats.files_prefetched > 0
+        # The prefetched coverage turned the last query's mounts into scans.
+        assert executor.mounts.stats.prefetched_mounts > 0
+        assert executor.mounts.stats.cache_scans > 0
+
+    def test_wrong_prediction_never_changes_answers(self, tiny_repo):
+        """A prediction past the archive's end prefetches nothing and the
+        following unrelated query still answers identically."""
+        executor = self._executor(tiny_repo)
+        prefetcher = SessionPrefetcher(
+            executor.mounts, executor.statistics, synchronous=True
+        )
+        base = parse_timestamp("2010-01-11T20:00:00.000")
+        width = 60 * _MINUTE_US
+        # Slide toward (and past) the end of the last day.
+        for i in range(4):
+            lo = base + i * width
+            prefetcher.observe((lo, lo + width))
+        check = self._sliding(1)[0]
+        plain = self._executor(tiny_repo)
+        assert (
+            executor.execute(self._sql(*check)).rows
+            == plain.execute(self._sql(*check)).rows
+        )
+
+    def test_discard_policy_disables_prefetch(self, tiny_repo):
+        db = Database()
+        lazy_ingest_metadata(db, tiny_repo)
+        executor = TwoStageExecutor(db, RepositoryBinding(tiny_repo))
+        prefetcher = SessionPrefetcher(
+            executor.mounts, executor.statistics, synchronous=True
+        )
+        for lo, hi in self._sliding(3):
+            prefetcher.observe((lo, hi))
+        assert prefetcher.stats.files_prefetched == 0
+        assert prefetcher.stats.skipped_blocked > 0
+
+    def test_async_worker_drains_and_closes(self, tiny_repo):
+        executor = self._executor(tiny_repo)
+        with SessionPrefetcher(
+            executor.mounts, executor.statistics
+        ) as prefetcher:
+            for lo, hi in self._sliding(3):
+                prefetcher.observe((lo, hi))
+            assert prefetcher.flush(timeout=10.0)
+            assert prefetcher.stats.rounds >= 1
+        # close() is idempotent and a post-close observe is a no-op.
+        prefetcher.close()
+        prefetcher.observe((0, 1))
+
+    def test_byte_budget_bounds_a_round(self, tiny_repo):
+        executor = self._executor(tiny_repo)
+        prefetcher = SessionPrefetcher(
+            executor.mounts,
+            executor.statistics,
+            synchronous=True,
+            max_bytes_per_round=1,
+        )
+        for lo, hi in self._sliding(3):
+            prefetcher.observe((lo, hi))
+        stats = prefetcher.stats
+        # At most one file fits under a 1-byte budget; the rest are counted.
+        assert stats.files_prefetched <= stats.rounds
+        assert stats.skipped_budget > 0

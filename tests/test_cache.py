@@ -360,3 +360,144 @@ class TestCovers:
         r = (min(request), max(request))
         expected = set(range(r[0], r[1] + 1)) <= set(range(e[0], e[1] + 1))
         assert covers(e, r) == expected
+
+
+class TestPerUriIndex:
+    """The TUPLE-granular key lookup walks only the URI's own entries via
+    the secondary index — a miss on one file must not scan every other
+    file's entries, and the index must track evictions/invalidations."""
+
+    def test_index_tracks_store_and_invalidate(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED, CacheGranularity.TUPLE)
+        cache.store("f1", batch(3), (0, 10))
+        cache.store("f1", batch(3), (90, 100))
+        cache.store("f2", batch(3), (0, 10))
+        assert cache.cached_uris() == {"f1", "f2"}
+        cache.invalidate("f1")
+        assert cache.cached_uris() == {"f2"}
+        assert not cache.contains("f1", (1, 9))
+        assert cache.contains("f2", (1, 9))
+
+    def test_index_tracks_eviction(self):
+        one = batch().nbytes()
+        cache = IngestionCache(
+            CachePolicy.LRU,
+            CacheGranularity.TUPLE,
+            capacity_bytes=int(one * 2.5),
+        )
+        cache.store("a", batch(), (0, 10))
+        cache.store("b", batch(), (0, 10))
+        cache.store("c", batch(), (0, 10))
+        assert cache.stats.evictions >= 1
+        assert "a" not in cache.cached_uris()
+        assert not cache.contains("a", (1, 9))
+
+    def test_subsumed_entries_dropped_from_index(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED, CacheGranularity.TUPLE)
+        cache.store("f1", batch(3), (0, 10))
+        cache.store("f1", batch(3), (20, 30))
+        cache.store("f1", batch(9), (0, 50))  # subsumes both
+        assert len(cache) == 1
+        assert cache.contains("f1", (5, 25))
+        cache.invalidate("f1")
+        assert len(cache) == 0
+        assert cache.cached_uris() == set()
+
+    def test_lookup_cost_is_per_uri_not_global(self):
+        """With N URIs each holding one entry, a tuple-granular miss on one
+        URI consults only that URI's entries. Covered behaviorally: a miss
+        on a URI with no entries is answered without touching others (the
+        index has no bucket at all)."""
+        cache = IngestionCache(CachePolicy.UNBOUNDED, CacheGranularity.TUPLE)
+        for i in range(50):
+            cache.store(f"f{i}", batch(2), (0, 10))
+        assert not cache.contains("absent", (0, 10))
+        assert cache.lookup("absent", (0, 10)) is None
+        assert cache.stats.misses == 1
+
+
+class TestAdaptivePolicy:
+    def test_requires_capacity(self):
+        with pytest.raises(ValueError):
+            IngestionCache(CachePolicy.ADAPTIVE)
+
+    def test_default_advisor_attached(self):
+        cache = IngestionCache(CachePolicy.ADAPTIVE, capacity_bytes=10_000)
+        assert cache.advisor is not None
+
+    def test_non_adaptive_policies_never_promote(self):
+        one = batch().nbytes()
+        cache = IngestionCache(
+            CachePolicy.LRU,
+            CacheGranularity.TUPLE,
+            capacity_bytes=int(one * 10),
+        )
+        for _ in range(5):
+            cache.store("hot", batch(), (0, 10))
+            cache.lookup("hot", (0, 10))
+        assert not cache.wants_whole_file("hot")
+        assert cache.granularity_for("hot") is CacheGranularity.TUPLE
+
+    def test_oversized_entry_rejected_like_lru(self):
+        cache = IngestionCache(CachePolicy.ADAPTIVE, capacity_bytes=1)
+        cache.store("a", batch())
+        assert not cache.contains("a")
+        assert cache.stats.rejected == 1
+
+    def test_adaptive_hammer_preserves_accounting(self):
+        """The LRU-2 victim walk must stay consistent under concurrent
+        store/lookup/invalidate — same invariants as the LRU hammer."""
+        one = batch().nbytes()
+        cache = IngestionCache(
+            CachePolicy.ADAPTIVE, capacity_bytes=int(one * 3.5)
+        )
+        uris = [f"f{i}" for i in range(8)]
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def hammer(worker):
+            try:
+                barrier.wait(timeout=10)
+                for i in range(300):
+                    uri = uris[(worker + i) % len(uris)]
+                    cache.store(uri, batch())
+                    got = cache.lookup(uri)
+                    assert got is None or got.num_rows == 10
+                    if i % 17 == 0:
+                        cache.invalidate(uri)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors
+        assert cache.stats.current_bytes == len(cache) * one
+        assert cache.stats.current_bytes <= int(one * 3.5)
+
+
+class TestCacheStatsHelpers:
+    def test_hit_rate_zero_when_untouched(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        assert cache.stats.hit_rate() == 0.0
+
+    def test_hit_rate_counts_lookups_only(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("f1", batch())
+        cache.lookup("f1")
+        cache.lookup("f1")
+        cache.lookup("absent")
+        assert cache.stats.hit_rate() == pytest.approx(2 / 3)
+
+    def test_as_dict_includes_derived_rate(self):
+        cache = IngestionCache(CachePolicy.UNBOUNDED)
+        cache.store("f1", batch())
+        cache.lookup("f1")
+        snapshot = cache.stats.as_dict()
+        assert snapshot["hits"] == 1
+        assert snapshot["misses"] == 0
+        assert snapshot["hit_rate"] == 1.0

@@ -1,0 +1,237 @@
+"""Persistent metastore durability: round-trip, staleness, corruption.
+
+The contract under test is §5's "cheaper, never wronger": a warm session
+that loads the sidecar must produce exactly the rows a live header walk
+would, and *every* failure mode of the sidecar — missing, corrupt,
+truncated mid-read, version-skewed, or stale against the files on disk —
+must degrade to live ingest, not to wrong answers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import MetadataStore, TwoStageExecutor
+from repro.core.metastore import METASTORE_VERSION
+from repro.db import Database
+from repro.ingest import RepositoryBinding, lazy_ingest_metadata
+from repro.mseed import FileRepository, RepositorySpec, generate_repository
+from repro.testing.faults import SHORT_READ, FaultPlan, FaultSpec
+
+SPEC = RepositorySpec(
+    stations=("ISK",),
+    channels=("BHE", "BHZ"),
+    days=1,
+    sample_rate=0.05,
+    samples_per_record=500,
+)
+
+QUERY = (
+    "SELECT COUNT(*) AS n, AVG(D.sample_value) AS a "
+    "FROM F JOIN D ON F.uri = D.uri "
+    "WHERE D.sample_time >= '2010-01-10T06:00:00.000' "
+    "AND D.sample_time < '2010-01-10T09:00:00.000'"
+)
+
+
+@pytest.fixture()
+def repo(tmp_path) -> FileRepository:
+    """A private two-file repository (the sidecar mutates the root)."""
+    generate_repository(tmp_path, SPEC)
+    return FileRepository(tmp_path)
+
+
+def _ingest(repo, metastore=None):
+    db = Database()
+    report = lazy_ingest_metadata(db, repo, metastore=metastore)
+    return db, report
+
+
+def _table_rows(db, name):
+    return db.catalog.table(name).batch.rows()
+
+
+def _answer(db, repo):
+    executor = TwoStageExecutor(
+        db, RepositoryBinding(repo), selective_mounts=True
+    )
+    return executor.execute(QUERY).rows
+
+
+class TestRoundTrip:
+    def test_warm_session_rows_identical(self, repo):
+        store = MetadataStore.for_repository(repo.root)
+        cold_db, cold_report = _ingest(repo, store)
+        assert cold_report.files_reused == 0
+        assert store.stats.saved_files == SPEC.file_count
+
+        warm_store = MetadataStore.for_repository(repo.root)
+        assert warm_store.load() == SPEC.file_count
+        warm_db, warm_report = _ingest(repo, warm_store)
+        assert warm_report.files_reused == SPEC.file_count
+        assert warm_store.stats.hits == SPEC.file_count
+
+        for table in ("F", "R"):
+            assert _table_rows(warm_db, table) == _table_rows(cold_db, table)
+        assert _answer(warm_db, repo) == _answer(cold_db, repo)
+
+    def test_record_byte_map_survives(self, repo):
+        """Selective mounting depends on the persisted offsets/lengths."""
+        store = MetadataStore.for_repository(repo.root)
+        _ingest(repo, store)
+        warm = MetadataStore.for_repository(repo.root)
+        warm.load()
+        for uri in repo.uris():
+            st = os.stat(repo.path_of(uri))
+            state = warm.lookup(uri, (st.st_mtime_ns, st.st_size))
+            assert state is not None
+            assert all(r.byte_offset >= 0 for r in state.record_rows)
+            assert all(r.byte_length > 0 for r in state.record_rows)
+
+    def test_save_leaves_no_tmp_file(self, repo):
+        store = MetadataStore.for_repository(repo.root)
+        _ingest(repo, store)
+        assert store.path.exists()
+        assert not store.path.with_name(store.path.name + ".tmp").exists()
+
+    def test_statistics_rebuilt_from_stored_state(self, repo):
+        store = MetadataStore.for_repository(repo.root)
+        _, report = _ingest(repo, store)
+        warm = MetadataStore.for_repository(repo.root)
+        warm.load()
+        catalog = warm.statistics()
+        assert sorted(catalog.files) == repo.uris()
+        assert catalog.table_rows["f"] == report.files
+        assert catalog.table_rows["r"] == report.records
+        for uri, stats in catalog.files.items():
+            assert stats.start_time < stats.end_time
+            assert stats.size_bytes > 0
+
+
+class TestStaleness:
+    def test_signature_mismatch_returns_none(self, repo):
+        store = MetadataStore.for_repository(repo.root)
+        _ingest(repo, store)
+        uri = repo.uris()[0]
+        st = os.stat(repo.path_of(uri))
+        assert store.lookup(uri, (st.st_mtime_ns, st.st_size)) is not None
+        assert store.lookup(uri, (st.st_mtime_ns + 1, st.st_size)) is None
+        assert store.stats.stale == 1
+
+    def test_changed_file_falls_back_to_live_ingest(self, repo):
+        store = MetadataStore.for_repository(repo.root)
+        cold_db, _ = _ingest(repo, store)
+
+        touched = repo.path_of(repo.uris()[0])
+        st = touched.stat()
+        os.utime(touched, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+
+        warm_store = MetadataStore.for_repository(repo.root)
+        warm_store.load()
+        warm_db, report = _ingest(repo, warm_store)
+        assert report.files_reused == SPEC.file_count - 1
+        assert warm_store.stats.stale == 1
+        # The touched file re-ingested live; rows and answers are unchanged
+        # because only the mtime moved, not the bytes.
+        for table in ("F", "R"):
+            assert _table_rows(warm_db, table) == _table_rows(cold_db, table)
+        assert _answer(warm_db, repo) == _answer(cold_db, repo)
+        # The re-save re-signed the touched file: next session reuses all.
+        third = MetadataStore.for_repository(repo.root)
+        third.load()
+        _, report3 = _ingest(repo, third)
+        assert report3.files_reused == SPEC.file_count
+
+
+class TestSidecarFailureModes:
+    def test_missing_sidecar_is_clean_cold_start(self, tmp_path):
+        store = MetadataStore(tmp_path / "absent.json")
+        assert store.load() == 0
+        assert store.stats.corrupt_loads == 0
+        assert len(store) == 0
+
+    def test_corrupt_sidecar_resets_and_reingests(self, repo):
+        store = MetadataStore.for_repository(repo.root)
+        cold_db, _ = _ingest(repo, store)
+        store.path.write_text("{ this is not json")
+
+        warm = MetadataStore.for_repository(repo.root)
+        assert warm.load() == 0
+        assert warm.stats.corrupt_loads == 1
+        warm_db, report = _ingest(repo, warm)
+        assert report.files_reused == 0
+        assert _table_rows(warm_db, "R") == _table_rows(cold_db, "R")
+
+    def test_truncated_sidecar_resets(self, repo):
+        store = MetadataStore.for_repository(repo.root)
+        _ingest(repo, store)
+        raw = store.path.read_bytes()
+        store.path.write_bytes(raw[: len(raw) // 2])
+
+        warm = MetadataStore.for_repository(repo.root)
+        assert warm.load() == 0
+        assert warm.stats.corrupt_loads == 1
+
+    def test_short_read_fault_on_load_resets(self, repo):
+        """The sidecar read goes through the volume I/O hook, so the fault
+        harness can tear it mid-read; the load degrades to a cold start."""
+        store = MetadataStore.for_repository(repo.root)
+        _ingest(repo, store)
+
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    uri_suffix=store.path.name,
+                    kind=SHORT_READ,
+                    at_read=0,
+                    times=-1,
+                    short_by=16,
+                )
+            ]
+        )
+        warm = MetadataStore.for_repository(repo.root)
+        with plan.install():
+            assert warm.load() == 0
+        assert warm.stats.corrupt_loads == 1
+        assert [f.uri for f in plan.log] == [f"metastore:{store.path.name}"]
+        # Hook removed: the same sidecar loads fine.
+        assert warm.load() == SPEC.file_count
+
+    def test_version_mismatch_resets(self, repo):
+        store = MetadataStore.for_repository(repo.root)
+        _ingest(repo, store)
+        payload = json.loads(store.path.read_text())
+        assert payload["version"] == METASTORE_VERSION
+        payload["version"] = METASTORE_VERSION + 1
+        store.path.write_text(json.dumps(payload))
+
+        warm = MetadataStore.for_repository(repo.root)
+        assert warm.load() == 0
+        assert warm.stats.version_mismatches == 1
+        assert warm.stats.corrupt_loads == 0
+
+    def test_malformed_record_row_is_corrupt_not_fatal(self, repo):
+        store = MetadataStore.for_repository(repo.root)
+        _ingest(repo, store)
+        payload = json.loads(store.path.read_text())
+        uri = next(iter(payload["files"]))
+        payload["files"][uri]["records"][0] = [1, 2]  # wrong arity
+        store.path.write_text(json.dumps(payload))
+
+        warm = MetadataStore.for_repository(repo.root)
+        assert warm.load() == 0
+        assert warm.stats.corrupt_loads == 1
+
+
+class TestApi:
+    def test_forget_drops_one_uri(self, repo):
+        store = MetadataStore.for_repository(repo.root)
+        _ingest(repo, store)
+        uri = repo.uris()[0]
+        store.forget(uri)
+        assert len(store) == SPEC.file_count - 1
+        st = os.stat(repo.path_of(uri))
+        assert store.lookup(uri, (st.st_mtime_ns, st.st_size)) is None

@@ -495,3 +495,143 @@ class TestCacheOwnership:
         assert cache.stats.insertions == 1
         assert cache.stats.duplicate_stores == threads - 1
         assert cache.stats.current_bytes == batch.nbytes()
+
+
+class TestSchedulerHints:
+    """Speculative prefetch tasks: run only when idle, never delay a real
+    query, and their results land in the shared cache via the callback."""
+
+    def _scheduler(self, extract, clock=None, workers=0, on_hint_result=None):
+        return MountScheduler(
+            extract,
+            policy=SchedulerPolicy(
+                throughput_bias=1.0,
+                aging_seconds=0.25,
+                batch_window_seconds=0.0,
+            ),
+            workers=workers,
+            clock=clock or FakeClock(),
+            on_hint_result=on_hint_result,
+        )
+
+    def test_hint_runs_only_when_no_real_task_pends(self):
+        sched = self._scheduler(lambda *a: _result())
+        assert sched.hint([("d", "spec.xseed", None)]) == 1
+        assert sched.stats.hints_registered == 1
+        assert sched.peek_next() == ("d", "spec.xseed")
+        # A real query arrives: it outranks the older hint outright.
+        sched.register(1, [("d", "real.xseed", None)])
+        assert sched.peek_next() == ("d", "real.xseed")
+
+    def test_hint_on_live_key_is_skipped(self):
+        sched = self._scheduler(lambda *a: _result())
+        sched.register(1, [("d", "busy.xseed", None)])
+        assert sched.hint([("d", "busy.xseed", None)]) == 0
+        assert sched.stats.hints_registered == 0
+        # And a second hint on an already-hinted key is also one task only.
+        assert sched.hint([("d", "spec.xseed", None)]) == 1
+        assert sched.hint([("d", "spec.xseed", None)]) == 0
+
+    def test_real_client_joins_pending_hint(self):
+        """A query landing on a hinted key rides the same task — no second
+        extraction, normal take() semantics."""
+        calls = []
+
+        def extract(uri, table, request):
+            calls.append(uri)
+            return _result()
+
+        sched = self._scheduler(extract)
+        sched.hint([("d", "shared.xseed", None)])
+        joined = sched.register(7, [("d", "shared.xseed", None)])
+        task = joined[("d", "shared.xseed")]
+        result, _ = sched.take(7, task)
+        assert result.batch.num_rows == 1
+        assert calls == ["shared.xseed"]
+        assert sched.peek_next() is None
+
+    def test_pending_hint_survives_waiter_reaping(self):
+        """Withdrawing the joining client must not reap the still-pending
+        hint — speculation keeps its slot until a worker runs it."""
+        sched = self._scheduler(lambda *a: _result())
+        sched.hint([("d", "spec.xseed", None)])
+        joined = sched.register(1, [("d", "spec.xseed", None)])
+        sched.withdraw(1, list(joined.values()))
+        assert sched.peek_next() == ("d", "spec.xseed")
+        assert sched.pending_tasks() == 1
+
+    def test_worker_runs_hint_and_stores_via_callback(self):
+        stored = []
+
+        def on_hint_result(key, request, result):
+            stored.append((key, request, result.bytes_read))
+
+        sched = self._scheduler(
+            lambda *a: _result(),
+            workers=1,
+            on_hint_result=on_hint_result,
+        )
+        try:
+            sched.start()
+            assert sched.hint([("d", "spec.xseed", None)]) == 1
+            pacer = threading.Event()
+            for _ in range(500):
+                if sched.stats.hint_extractions == 1:
+                    break
+                pacer.wait(0.01)
+            assert sched.stats.hint_extractions == 1
+            assert stored == [(("d", "spec.xseed"), None, 100)]
+        finally:
+            sched.close()
+
+    def test_hint_callback_failure_is_absorbed(self):
+        def exploding(key, request, result):
+            raise RuntimeError("cache said no")
+
+        sched = self._scheduler(
+            lambda *a: _result(), workers=1, on_hint_result=exploding
+        )
+        try:
+            sched.start()
+            sched.hint([("d", "spec.xseed", None)])
+            pacer = threading.Event()
+            for _ in range(500):
+                if sched.stats.hint_extractions == 1:
+                    break
+                pacer.wait(0.01)
+            assert sched.stats.hint_extractions == 1
+            # The scheduler still serves real work after the bad callback.
+            joined = sched.register(1, [("d", "real.xseed", None)])
+            result, _ = sched.take(1, joined[("d", "real.xseed")])
+            assert result.batch.num_rows == 1
+        finally:
+            sched.close()
+
+    def test_hint_after_close_is_refused(self):
+        sched = self._scheduler(lambda *a: _result())
+        sched.close()
+        assert sched.hint([("d", "spec.xseed", None)]) == 0
+
+
+class TestServicePrefetch:
+    def test_answers_identical_with_prefetch_on(self, repo):
+        """Prefetch is a performance lever only: the full comparison grid
+        must stay byte-identical with speculative mounts in flight."""
+        service = QueryService(
+            repo,
+            prefetch=True,
+            mount_workers=2,
+            scheduler_policy=SchedulerPolicy(batch_window_seconds=0.01),
+        )
+        try:
+            report = run_comparison(
+                repo, SPEC, clients=4, queries_per_client=3, service=service
+            )
+            stats = service.stats()
+        finally:
+            service.close()
+        assert report.identical, report.mismatches
+        assert report.service_stats.queries_failed == 0
+        assert service.scheduler.pending_tasks() == 0
+        # The per-tenant predictors observed every completed query.
+        assert stats.queries_completed == 12
