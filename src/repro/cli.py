@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence
 
 from .core import QueryBudget, TwoStageExecutor
@@ -70,11 +71,59 @@ def _build_parser() -> argparse.ArgumentParser:
 
     query = commands.add_parser("query", help="run one SQL query")
     query.add_argument("sql")
-    source = query.add_mutually_exclusive_group(required=True)
+    source = query.add_mutually_exclusive_group(required=False)
     source.add_argument("--db", help="persisted database directory")
     source.add_argument(
         "--repo", help="repository: metadata loads on the fly, two-stage "
         "execution mounts files of interest",
+    )
+    query.add_argument(
+        "--remote", action="append", default=[], metavar="ENDPOINT=DIR",
+        help="serve DIR as the simulated remote endpoint ENDPOINT and "
+        "federate it with --repo (repeatable; may also stand alone). "
+        "Remote files mount through ranged GETs over the resilient "
+        "transport; shape the link with the --endpoint-* knobs",
+    )
+    query.add_argument(
+        "--endpoint-latency-ms", type=float, default=0.0, metavar="MS",
+        help="simulated per-request latency for every --remote endpoint",
+    )
+    query.add_argument(
+        "--endpoint-jitter", type=float, default=0.0, metavar="J",
+        help="latency jitter fraction in [0, 1] for --remote endpoints",
+    )
+    query.add_argument(
+        "--endpoint-bandwidth-mbps", type=float, default=None, metavar="MB",
+        help="simulated bandwidth cap in MB/s (default: unlimited)",
+    )
+    query.add_argument(
+        "--endpoint-loss", type=float, default=0.0, metavar="P",
+        help="per-request loss probability in [0, 1) for --remote endpoints",
+    )
+    query.add_argument(
+        "--endpoint-seed", type=int, default=0, metavar="N",
+        help="seed of the deterministic network model (same seed = same "
+        "latency/loss draws)",
+    )
+    query.add_argument(
+        "--endpoint-timeout-ms", type=float, default=None, metavar="MS",
+        help="per-request timeout; a request that outlives it is abandoned "
+        "and retried (default: no timeout)",
+    )
+    query.add_argument(
+        "--endpoint-retries", type=_positive_int, default=3, metavar="N",
+        help="max attempts per remote request (default 3)",
+    )
+    query.add_argument(
+        "--endpoint-retry-budget", type=int, default=64, metavar="N",
+        help="per-query cap on retries + hedges across all remote requests "
+        "(default 64)",
+    )
+    query.add_argument(
+        "--endpoint-hedge-percentile", type=float, default=None, metavar="P",
+        help="enable hedged backup requests: when a request outlives this "
+        "latency percentile of recent requests, race a second one and take "
+        "the first answer (e.g. 0.95; default: hedging off)",
     )
     query.add_argument(
         "--explain", action="store_true", help="print the plan instead"
@@ -275,7 +324,93 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_remote_spec(spec: str) -> tuple[str, str]:
+    endpoint, sep, directory = spec.partition("=")
+    if not endpoint or not sep or not directory:
+        raise SystemExit(f"--remote expects ENDPOINT=DIR, got {spec!r}")
+    return endpoint, directory
+
+
+def _build_query_repository(args: argparse.Namespace):
+    """The query's repository: local, remote, or a federation of both.
+
+    Returns ``(repository, remote_members)`` — the members list is what the
+    per-endpoint transport statistics are reported from afterwards.
+    """
+    members: list[object] = []
+    if args.repo:
+        members.append(FileRepository(args.repo, suffix=(".xseed", ".tscsv")))
+    remotes = []
+    if args.remote:
+        import tempfile
+
+        from .remote import (
+            NetworkProfile,
+            RemoteRepository,
+            SimulatedObjectStore,
+            TransportPolicy,
+        )
+
+        profile = NetworkProfile(
+            latency_seconds=args.endpoint_latency_ms / 1000.0,
+            jitter=args.endpoint_jitter,
+            bandwidth_bytes_per_second=(
+                None
+                if args.endpoint_bandwidth_mbps is None
+                else args.endpoint_bandwidth_mbps * 1_000_000.0
+            ),
+            loss_probability=args.endpoint_loss,
+        )
+        policy = TransportPolicy(
+            request_timeout_seconds=(
+                None
+                if args.endpoint_timeout_ms is None
+                else args.endpoint_timeout_ms / 1000.0
+            ),
+            max_attempts=args.endpoint_retries,
+            retry_budget_attempts=args.endpoint_retry_budget,
+            hedge_enabled=args.endpoint_hedge_percentile is not None,
+            hedge_percentile=args.endpoint_hedge_percentile or 0.95,
+        )
+        staging_root = Path(tempfile.mkdtemp(prefix="repro-remote-staging-"))
+        for spec in args.remote:
+            endpoint, directory = _parse_remote_spec(spec)
+            store = SimulatedObjectStore(
+                endpoint, directory, profile, seed=args.endpoint_seed
+            )
+            remote = RemoteRepository(
+                store, staging_root / endpoint, policy=policy
+            )
+            members.append(remote)
+            remotes.append(remote)
+    if not members:
+        raise SystemExit("query needs --db, --repo, or --remote")
+    if len(members) == 1:
+        return members[0], remotes
+    from .remote import FederatedRepository
+
+    return FederatedRepository(members), remotes
+
+
+def _print_remote_stats(remotes) -> None:
+    for remote in remotes:
+        stats = remote.stats
+        transport = remote.transport.stats
+        print(
+            f"(endpoint {remote.endpoint}: {stats.remote_bytes} remote "
+            f"byte(s) in {stats.ranged_gets} ranged / "
+            f"{stats.whole_fetches} whole GET(s), "
+            f"{stats.staged_reuses} staging reuse(s); "
+            f"{transport.retries} retry(ies), {transport.hedges} hedge(s) "
+            f"({transport.hedge_wins} won), "
+            f"{transport.breaker_refusals} breaker refusal(s))",
+            file=sys.stderr,
+        )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.db and args.remote:
+        raise SystemExit("--remote applies to repository mode, not --db")
     if args.db:
         db = Database.open(args.db)
         if args.verify_plans:
@@ -288,14 +423,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"({result.num_rows} rows in {result.total_seconds:.4f}s)")
         return 0
 
-    repo = FileRepository(args.repo, suffix=(".xseed", ".tscsv"))
+    repo, remotes = _build_query_repository(args)
     db = Database(verify_plans=True if args.verify_plans else None)
     metastore = None
     if args.metastore:
-        from .core.metastore import MetadataStore
+        if getattr(repo, "root", None) is None:
+            print(
+                "warning: --metastore needs a local repository root; "
+                "ignored for remote-only sources",
+                file=sys.stderr,
+            )
+        else:
+            from .core.metastore import MetadataStore
 
-        metastore = MetadataStore.for_repository(repo.root)
-        metastore.load()
+            metastore = MetadataStore.for_repository(repo.root)
+            metastore.load()
     report = lazy_ingest_metadata(db, repo, metastore=metastore)
     if metastore is not None and report.files_reused:
         print(
@@ -363,8 +505,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
     if timings.mount_failures:
         print(f"warning: {timings.mount_failures.describe()}", file=sys.stderr)
+        for endpoint in timings.mount_failures.endpoints():
+            print(
+                f"warning: endpoint {endpoint} degraded — its files were "
+                "skipped, surviving sources answered",
+                file=sys.stderr,
+            )
     if outcome.truncation is not None:
         print(f"warning: {outcome.truncation.describe()}", file=sys.stderr)
+    _print_remote_stats(remotes)
     return 0
 
 

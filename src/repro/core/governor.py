@@ -391,16 +391,18 @@ class _Circuit:
     opened_at: float = 0.0
     probing: bool = False  # a half-open probe is in flight
     last_error: str = ""
+    last_touched: float = 0.0  # for idle-expiry / cap eviction
 
 
 @_sync.guarded
 class CircuitBreaker:
-    """Cross-query failure scoring per URI, with half-open probe retries.
+    """Cross-query failure scoring per key, with half-open probe retries.
 
     The per-query quarantine (PR 2) protects one query from re-extracting a
     file that just failed; the breaker protects *every subsequent query*
-    from spending a full retry ladder on a file that keeps failing. State
-    machine per URI:
+    from spending a full retry ladder on a key that keeps failing. Keys are
+    URIs on the local mount path and *endpoints* on the remote transport
+    path — the state machine is identical:
 
     ``closed`` → normal; failures accumulate, successes reset the score.
     ``open`` → after ``failure_threshold`` consecutive failures; mounts are
@@ -410,6 +412,13 @@ class CircuitBreaker:
     through; success closes the circuit, failure re-opens it (and restarts
     the cooldown).
 
+    The registry is bounded: entries idle longer than
+    ``idle_expiry_seconds`` are dropped, and when more than ``max_circuits``
+    keys hold state the least-recently-touched closed circuits are evicted
+    first — a long exploration session over a huge archive cannot leak one
+    ``_Circuit`` per file it ever failed on. Eviction runs on the failure
+    path only, so :meth:`allow` stays O(1).
+
     ``clock`` is injectable so tests drive the cooldown deterministically.
     """
 
@@ -418,22 +427,63 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         cooldown_seconds: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        max_circuits: int = 1024,
+        idle_expiry_seconds: float = 900.0,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         if cooldown_seconds < 0:
             raise ValueError("cooldown_seconds must be >= 0")
+        if max_circuits < 1:
+            raise ValueError("max_circuits must be >= 1")
+        if idle_expiry_seconds <= 0:
+            raise ValueError("idle_expiry_seconds must be positive")
         self.failure_threshold = failure_threshold
         self.cooldown_seconds = cooldown_seconds
+        self.max_circuits = max_circuits
+        self.idle_expiry_seconds = idle_expiry_seconds
         self._clock = clock
         self._lock = _sync.create_lock("CircuitBreaker._lock")
         self._circuits: dict[str, _Circuit] = {}  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._circuits)
+
+    def _reap_locked(self, now: float) -> None:
+        """Drop idle entries; enforce the cap (closed, least-recent first)."""
+        cutoff = now - self.idle_expiry_seconds
+        stale = [
+            key
+            for key, circuit in self._circuits.items()
+            if circuit.last_touched <= cutoff
+        ]
+        for key in stale:
+            del self._circuits[key]
+        self.evictions += len(stale)
+        excess = len(self._circuits) - self.max_circuits
+        if excess <= 0:
+            return
+        victims = sorted(
+            self._circuits.items(),
+            key=lambda kv: (
+                kv[1].state != CIRCUIT_CLOSED,  # closed circuits go first
+                kv[1].last_touched,
+            ),
+        )
+        for key, _ in victims[:excess]:
+            del self._circuits[key]
+        self.evictions += excess
 
     def allow(self, uri: str) -> bool:
         """May this URI be mounted right now? (May admit a half-open probe.)"""
         with self._lock:
             circuit = self._circuits.get(uri)
-            if circuit is None or circuit.state == CIRCUIT_CLOSED:
+            if circuit is None:
+                return True
+            circuit.last_touched = self._clock()
+            if circuit.state == CIRCUIT_CLOSED:
                 return True
             if circuit.state == CIRCUIT_OPEN:
                 if self._clock() - circuit.opened_at < self.cooldown_seconds:
@@ -449,8 +499,10 @@ class CircuitBreaker:
 
     def record_failure(self, uri: str, error: Optional[BaseException] = None) -> None:
         with self._lock:
+            now = self._clock()
             circuit = self._circuits.setdefault(uri, _Circuit())
             circuit.failures += 1
+            circuit.last_touched = now
             if error is not None:
                 circuit.last_error = type(error).__name__
             reopen = (
@@ -460,7 +512,8 @@ class CircuitBreaker:
             circuit.probing = False
             if reopen:
                 circuit.state = CIRCUIT_OPEN
-                circuit.opened_at = self._clock()
+                circuit.opened_at = now
+            self._reap_locked(now)
 
     def record_success(self, uri: str) -> None:
         with self._lock:
@@ -499,10 +552,19 @@ class CircuitBreaker:
         with self._lock:
             self._circuits.clear()
 
-    def refusal(self, uri: str) -> CircuitOpenError:
-        """The typed error for a mount the breaker refused."""
+    def refusal(
+        self, uri: str, *, endpoint: Optional[str] = None
+    ) -> CircuitOpenError:
+        """The typed error for a mount the breaker refused.
+
+        ``endpoint`` attributes the refusal to a remote endpoint when the
+        circuit key is an endpoint rather than a single file — the remote
+        transport passes it so :class:`~repro.db.errors.CircuitOpenError`
+        (and through it, per-source failure reports) name the source.
+        """
+        key = endpoint if endpoint is not None else uri
         with self._lock:
-            circuit = self._circuits.get(uri)
+            circuit = self._circuits.get(key)
             failures = circuit.failures if circuit is not None else 0
             last = circuit.last_error if circuit is not None else ""
             remaining = 0.0
@@ -512,12 +574,60 @@ class CircuitBreaker:
                     self.cooldown_seconds
                     - (self._clock() - circuit.opened_at),
                 )
-        detail = f"circuit open after {failures} failure(s)"
+        subject = f"endpoint {endpoint!r}: " if endpoint is not None else ""
+        detail = f"{subject}circuit open after {failures} failure(s)"
         if last:
             detail = f"{detail} (last: {last})"
         if remaining > 0:
             detail = f"{detail}; probe retry in {remaining:.1f}s"
-        return CircuitOpenError(detail, uri=uri)
+        return CircuitOpenError(detail, uri=uri, endpoint=endpoint)
+
+
+# -- retry budget --------------------------------------------------------------
+
+
+@_sync.guarded
+class RetryBudget:
+    """A per-query cap on *extra* attempts across every remote request.
+
+    The per-request retry ladder bounds one request; the retry budget bounds
+    the query: a flapping endpoint that makes every ranged GET need two
+    retries would otherwise multiply the query's wall time by the retry
+    count times the file count. Each retry (and each hedged backup request)
+    spends one unit via :meth:`try_spend`; once the pool is dry, requests
+    get exactly one attempt and failures surface immediately — degrading the
+    query instead of stretching it.
+
+    Shared by every mount worker of one query, hence the lock. The remote
+    repository resets it in ``begin_query``.
+    """
+
+    def __init__(self, attempts: int = 64) -> None:
+        if attempts < 0:
+            raise ValueError("attempts must be >= 0")
+        self.attempts = attempts
+        self._lock = _sync.create_lock("RetryBudget._lock")
+        self._spent = 0  # guarded-by: _lock
+
+    def try_spend(self, n: int = 1) -> bool:
+        """Reserve ``n`` attempts; False (and no spend) when over budget."""
+        with self._lock:
+            if self._spent + n > self.attempts:
+                return False
+            self._spent += n
+            return True
+
+    def spent(self) -> int:
+        with self._lock:
+            return self._spent
+
+    def remaining(self) -> int:
+        with self._lock:
+            return max(0, self.attempts - self._spent)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._spent = 0
 
 
 __all__ = [
@@ -531,5 +641,6 @@ __all__ = [
     "ON_BUDGET_RAISE",
     "QueryBudget",
     "QueryGovernor",
+    "RetryBudget",
     "TruncationReport",
 ]

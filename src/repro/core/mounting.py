@@ -37,6 +37,7 @@ extraction so a file rewritten *during* the read raises
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from dataclasses import dataclass, field
@@ -87,18 +88,26 @@ ON_ERROR_POLICIES = (FAIL_FAST, SKIP_AND_REPORT)
 
 @dataclass(frozen=True)
 class MountFailure:
-    """One quarantined file: what failed, where, and how hard we tried."""
+    """One quarantined file: what failed, where, and how hard we tried.
+
+    ``endpoint`` names the remote endpoint the failure is attributable to,
+    when there is one — the per-source attribution a federated query's
+    degradation report needs ("everything behind ``archive-b`` failed"
+    reads very differently from "these three files are corrupt").
+    """
 
     uri: str
     error: str  # exception class name, e.g. "TruncatedFileError"
     message: str
     offset: Optional[int] = None  # byte offset of the failure, if known
     retries: int = 0  # transparent retries spent before quarantining
+    endpoint: Optional[str] = None  # remote endpoint at fault, if any
 
     def describe(self) -> str:
         where = f" at byte {self.offset}" if self.offset is not None else ""
         tried = f" after {self.retries} retries" if self.retries else ""
-        return f"{self.uri}: {self.error}{where}{tried}: {self.message}"
+        source = f" [endpoint {self.endpoint}]" if self.endpoint else ""
+        return f"{self.uri}: {self.error}{where}{tried}{source}: {self.message}"
 
 
 @dataclass
@@ -119,6 +128,17 @@ class MountFailureReport:
 
     def uris(self) -> list[str]:
         return [f.uri for f in self.failures]
+
+    def endpoints(self) -> list[str]:
+        """The remote endpoints implicated in the skips, sorted, deduped."""
+        return sorted({f.endpoint for f in self.failures if f.endpoint})
+
+    def by_endpoint(self) -> dict[Optional[str], list[MountFailure]]:
+        """Failures grouped per source (None = local repository files)."""
+        grouped: dict[Optional[str], list[MountFailure]] = {}
+        for failure in self.failures:
+            grouped.setdefault(failure.endpoint, []).append(failure)
+        return grouped
 
     def describe(self) -> str:
         if not self.failures:
@@ -200,6 +220,10 @@ class ExtractResult:
     records_decoded: int = 0
     records_skipped: int = 0
     selective: bool = False
+    # The file's signature observed by the post-extraction staleness check,
+    # for the cache store — saves a third stat/HEAD per mount. None when
+    # staleness validation is off.
+    signature: Optional[FileSignature] = None
 
 
 # (uri, table_name) -> the file's record byte map from the R table, or None.
@@ -240,6 +264,13 @@ class MountService:
     on_error: str = FAIL_FAST
     max_retries: int = 2
     retry_backoff_seconds: float = 0.01
+    # Multiplicative backoff jitter: each retry's wait is scaled by a
+    # uniform draw from [1, 1 + retry_jitter], so parallel workers retrying
+    # the same endpoint desynchronize instead of hammering it in lockstep.
+    retry_jitter: float = 0.5
+    _retry_rng: random.Random = field(  # guarded-by: _lock
+        default_factory=random.Random, repr=False
+    )
     # Wall-clock cap on one file's whole retry ladder (None = unbounded):
     # a transient failure whose next backoff would cross the deadline gives
     # up immediately instead of stalling a mount-pool worker.
@@ -303,10 +334,20 @@ class MountService:
         Quarantine is *per query* — a file that failed once is skipped for
         the rest of that query (self-joins do not re-extract it) but gets a
         fresh chance next query (it may have been repaired in between).
+
+        This is also the per-query repository hook: each bound repository's
+        ``begin_query`` runs here with the query's live cancellation token
+        (the executor attaches the token before calling this), so a remote
+        backend can reset its transport retry budget and make its waits
+        interruptible by *this* query.
         """
         with self._lock:
             self._quarantined.clear()
             self.failure_report = MountFailureReport()
+        for binding in self.bindings.bindings.values():
+            begin_query = getattr(binding.repository, "begin_query", None)
+            if begin_query is not None:
+                begin_query(self.cancellation)
 
     def _quarantine(self, uri: str, exc: BaseException) -> None:
         failure = MountFailure(
@@ -315,6 +356,7 @@ class MountService:
             message=getattr(exc, "message", None) or str(exc),
             offset=getattr(exc, "offset", None),
             retries=getattr(exc, "ingest_retries", 0),
+            endpoint=getattr(exc, "endpoint", None),
         )
         with self._lock:
             if uri not in self._quarantined:
@@ -453,7 +495,9 @@ class MountService:
         interval = interval_from_predicate(
             predicate, f"{alias}.{self.time_column}"
         )
-        signature = self._store_signature(uri, table_name)
+        # The extraction's own post-read staleness check already observed
+        # the signature; reuse it instead of a third stat/HEAD per mount.
+        signature = result.signature
         if self.cache.granularity_for(uri) is CacheGranularity.TUPLE:
             narrowed = _interval_mask_batch(batch, self.time_column, interval)
             self.cache.store(uri, narrowed, interval, signature=signature)
@@ -506,7 +550,7 @@ class MountService:
             return ("error", 0)
         if self.breaker is not None:
             self.breaker.record_success(uri)
-        signature = self._store_signature(uri, table_name)
+        signature = result.signature
         coverage = WHOLE_FILE if request is None else interval
         if (
             request is not None
@@ -580,37 +624,49 @@ class MountService:
 
     # -- internals ---------------------------------------------------------------
 
-    def _resolve(self, uri: str, table_name: str) -> tuple[Path, FormatExtractor]:
+    def _resolve(
+        self, uri: str, table_name: str
+    ) -> tuple[Path, FormatExtractor, object]:
+        """URI → (readable path, format extractor, owning repository).
+
+        Everything source-specific goes through the repository protocol
+        hooks (:class:`~repro.mseed.repository.FileRepository` docs): a
+        remote repository resolves ``path_of`` to a local staging file and
+        wraps the registry's extractor in its ranged-GET adapter. The
+        ``getattr`` fallbacks keep duck-typed test repositories (which
+        predate the hooks) working unchanged.
+        """
         binding = self.bindings.for_table(table_name)
         if binding is None:
             raise IngestError(
                 f"actual table {table_name!r} has no repository binding"
             )
-        path = binding.repository.path_of(uri)
+        repository = binding.repository
+        path = repository.path_of(uri)
         assert binding.registry is not None
-        return path, binding.registry.for_path(path)
+        extractor_for = getattr(repository, "extractor_for", None)
+        if extractor_for is not None:
+            return path, extractor_for(path, uri, binding.registry), repository
+        return path, binding.registry.for_path(path), repository
+
+    def _signature(self, repository: object, uri: str, path: Path) -> FileSignature:
+        """The file's current staleness signature, via the owning repository
+        (a remote backend answers from a HEAD, not the staging file's stat)."""
+        signature_of = getattr(repository, "signature_of", None)
+        if signature_of is not None:
+            return signature_of(uri)
+        return _file_signature(path)
 
     def _current_signature(
         self, uri: str, table_name: str
     ) -> Optional[FileSignature]:
-        """The file's on-disk ``(mtime_ns, size)``, or None when it cannot
-        be stated — the mount fallback will surface the real error."""
+        """The file's current signature, or None when it cannot be stated —
+        the mount fallback will surface the real error."""
         try:
-            path, _ = self._resolve(uri, table_name)
-            return _file_signature(path)
+            path, _, repository = self._resolve(uri, table_name)
+            return self._signature(repository, uri, path)
         except (OSError, IngestError):
             return None
-
-    def _store_signature(
-        self, uri: str, table_name: str
-    ) -> Optional[FileSignature]:
-        """Signature to record alongside a cache store (None when the cache
-        discards anyway or staleness validation is off — skip the stat)."""
-        if not self.validate_staleness:
-            return None
-        if self.cache.policy is CachePolicy.DISCARD:
-            return None
-        return self._current_signature(uri, table_name)
 
     def _extract(
         self,
@@ -632,7 +688,7 @@ class MountService:
         instead of sleeping out the rest of its ladder.
         """
         self.cancellation.raise_if_interrupted()
-        path, extractor = self._resolve(uri, table_name)
+        path, extractor, repository = self._resolve(uri, table_name)
         attempt = 0
         deadline = (
             None
@@ -641,12 +697,21 @@ class MountService:
         )
         while True:
             try:
-                return self._extract_once(uri, path, extractor, request)
+                return self._extract_once(
+                    uri, path, extractor, request, repository
+                )
             except FileIngestError as exc:
                 exc.ingest_retries = attempt  # type: ignore[attr-defined]
                 if not exc.transient or attempt >= self.max_retries:
                     raise
                 backoff = self.retry_backoff_seconds * (attempt + 1)
+                if self.retry_jitter > 0:
+                    # Jitter the wait so N workers that failed against the
+                    # same endpoint at the same instant don't all come back
+                    # at the same instant (retry storms re-break half-open
+                    # circuits). The RNG is shared; draw under the lock.
+                    with self._lock:
+                        backoff *= 1.0 + self.retry_jitter * self._retry_rng.random()
                 if deadline is not None and (
                     time.monotonic() + backoff >= deadline
                 ):
@@ -665,9 +730,10 @@ class MountService:
         path: Path,
         extractor: FormatExtractor,
         request: Optional[MountRequest] = None,
+        repository: object = None,
     ) -> "ExtractResult":
         try:
-            before = _file_signature(path)
+            before = self._signature(repository, uri, path)
         except FileNotFoundError as exc:
             raise FileIngestError(
                 f"file disappeared before extraction: {path}",
@@ -716,9 +782,10 @@ class MountService:
             records_skipped = 0
             with self._lock:
                 self.stats.records_decoded += records_decoded
+        after: Optional[FileSignature] = None
         if self.validate_staleness:
             try:
-                after = _file_signature(path)
+                after = self._signature(repository, uri, path)
             except FileNotFoundError as exc:
                 raise StaleFileError(
                     "file deleted during extraction",
@@ -744,6 +811,7 @@ class MountService:
             records_decoded=records_decoded,
             records_skipped=records_skipped,
             selective=selective,
+            signature=after,
         )
 
     def _deliver(

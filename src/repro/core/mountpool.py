@@ -59,6 +59,7 @@ phase's modeled wall time is the critical path, which is what
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
@@ -106,6 +107,29 @@ def merge_requests(
     )
 
 _POLL_SECONDS = 0.05  # backpressure wake-up interval for cancellation checks
+
+
+def _interleave_endpoints(keys: Sequence[MountKey]) -> list[MountKey]:
+    """Round-robin fresh tasks across their sources' endpoints.
+
+    A federated plan lists each repository's files contiguously; queueing
+    them in that order would park every worker on the first (possibly slow
+    or dying) endpoint while the other sources sit idle. Interleaving keeps
+    all endpoints moving; consumption order — and therefore the answer — is
+    untouched, because ``take`` drains results in plan order regardless of
+    queue order.
+    """
+    from ..remote.uris import endpoint_of  # deferred: pulls in repro.remote
+
+    groups: dict[Optional[str], list[MountKey]] = {}
+    for key in keys:
+        groups.setdefault(endpoint_of(key[1]), []).append(key)
+    if len(groups) < 2:
+        return list(keys)
+    out: list[MountKey] = []
+    for batch in itertools.zip_longest(*groups.values()):
+        out.extend(key for key in batch if key is not None)
+    return out
 
 
 @dataclass(frozen=True)
@@ -290,7 +314,7 @@ class MountPool:
             )
         with self._lock:
             fresh = [key for key in dict.fromkeys(keys) if key not in self._futures]
-            for key in fresh:
+            for key in _interleave_endpoints(fresh):
                 self._futures[key] = Future()
                 self._queue.append(key)
             spawn = min(self.max_workers - self._live_workers, len(self._queue))

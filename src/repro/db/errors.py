@@ -208,4 +208,42 @@ class CircuitOpenError(FileIngestError):
     Not transient: the whole point of the open state is to spend *zero*
     retry ladder on a URI that has repeatedly failed across queries. The
     breaker closes again via a half-open probe after its cooldown.
+
+    ``endpoint`` is set when the refusing circuit guards a remote endpoint
+    rather than a single file — the per-source attribution a federated
+    :class:`~repro.core.mounting.MountFailureReport` carries.
     """
+
+    def __init__(self, message: str, **kwargs: object) -> None:
+        endpoint = kwargs.pop("endpoint", None)
+        super().__init__(message, **kwargs)  # type: ignore[arg-type]
+        self.endpoint = endpoint
+
+
+class RemoteTransportError(FileIngestError):
+    """A remote request failed in transit (refused, reset, timed out).
+
+    Transient by default — connection churn, packet loss, and latency-model
+    timeouts are exactly what the resilient transport's retry ladder and the
+    mount service's own retries exist to absorb. ``endpoint`` names the
+    remote endpoint for per-source degradation reporting.
+    """
+
+    def __init__(self, message: str, **kwargs: object) -> None:
+        endpoint = kwargs.pop("endpoint", None)
+        kwargs.setdefault("transient", True)
+        super().__init__(message, **kwargs)  # type: ignore[arg-type]
+        self.endpoint = endpoint
+
+
+class RemoteObjectMissingError(RemoteTransportError):
+    """The endpoint answered, but the requested object does not exist.
+
+    *Not* transient: a missing object is a fact about the repository, not
+    about the network — retrying cannot conjure it. (The remote analogue of
+    a local ``FileNotFoundError`` at resolution time.)
+    """
+
+    def __init__(self, message: str, **kwargs: object) -> None:
+        kwargs["transient"] = False
+        super().__init__(message, **kwargs)

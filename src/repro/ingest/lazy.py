@@ -52,21 +52,29 @@ def lazy_ingest_metadata(
     ensure_schema(db)
     started = time.perf_counter()
 
+    signature_of = getattr(repository, "signature_of", None)
+    extractor_for = getattr(repository, "extractor_for", None)
     file_rows = []
     record_rows = []
     files_reused = 0
     for uri in repository.uris():
         path = repository.path_of(uri)
         if metastore is not None:
-            st = os.stat(path)
-            signature = (st.st_mtime_ns, st.st_size)
+            if signature_of is not None:
+                signature = signature_of(uri)
+            else:
+                st = os.stat(path)
+                signature = (st.st_mtime_ns, st.st_size)
             stored = metastore.lookup(uri, signature)
             if stored is not None:
                 file_rows.append(stored.file_row)
                 record_rows.extend(stored.record_rows)
                 files_reused += 1
                 continue
-        extractor = registry.for_path(path)
+        if extractor_for is not None:
+            extractor = extractor_for(path, uri, registry)
+        else:
+            extractor = registry.for_path(path)
         extracted = extractor.extract_metadata(path, uri)
         file_rows.append(extracted.file_row)
         record_rows.extend(extracted.record_rows)

@@ -4,14 +4,29 @@ A repository is a directory tree of standard-format files addressed by
 *URIs* (their repository-relative paths). This is the paper's unit of
 ingestion: eager ingestion walks every URI, lazy ingestion walks headers
 only, and the mount access path resolves one URI at a time.
+
+:class:`FileRepository` is also the *repository protocol* other backends
+implement by duck type: ingestion and mounting resolve everything source-
+specific through four overridable hooks — :meth:`~FileRepository.path_of`
+(URI → readable local path), :meth:`~FileRepository.signature_of` (URI →
+staleness signature), :meth:`~FileRepository.extractor_for` (path → format
+extractor, possibly wrapped), and :meth:`~FileRepository.begin_query`
+(per-query setup such as resetting a transport retry budget). The remote
+backend (:mod:`repro.remote.repository`) and the federated dispatcher
+(:mod:`repro.remote.federation`) override them; everything above the hooks
+is source-agnostic.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from ..db.errors import FileIngestError, IngestError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import cycles)
+    from ..core.governor import CancellationToken
+    from ..ingest.formats import FormatExtractor, FormatRegistry
 
 
 class FileRepository:
@@ -69,3 +84,44 @@ class FileRepository:
     def total_bytes(self) -> int:
         """Size of the repository — the "mSEED" column of Table 1."""
         return sum(self.size_of(uri) for uri in self.uris())
+
+    # -- repository protocol hooks -------------------------------------------
+    #
+    # Everything below is the overridable surface a non-local backend
+    # replaces. Callers (lazy/eager ingestion, the mount service) must go
+    # through these instead of stat()/registry.for_path directly.
+
+    def signature_of(self, uri: str) -> tuple[int, int]:
+        """The ``(mtime_ns, size)`` staleness signature of a URI.
+
+        Raises ``FileNotFoundError`` (not :meth:`path_of`'s typed error) on
+        a missing file: the mount layer maps that to disappeared-before /
+        deleted-during-extraction staleness, which must keep working when a
+        file vanishes *between* resolution and the post-extract re-check.
+        """
+        path = (self.root / uri).resolve()
+        if not path.is_relative_to(self.root.resolve()):
+            raise IngestError(f"URI {uri!r} escapes the repository root")
+        st = path.stat()
+        return (st.st_mtime_ns, st.st_size)
+
+    def extractor_for(
+        self, path: Path, uri: str, registry: "FormatRegistry"
+    ) -> "FormatExtractor":
+        """The format extractor to use for ``uri`` resolved at ``path``.
+
+        The remote backend wraps the registry's choice in a staging adapter;
+        locally the registry's per-suffix dispatch is the whole story.
+        """
+        return registry.for_path(path)
+
+    def begin_query(self, token: Optional["CancellationToken"] = None) -> None:
+        """Per-query setup hook (no-op locally).
+
+        The remote backend resets its per-query transport retry budget and
+        adopts the query's cancellation token here.
+        """
+
+    def owns_uri(self, uri: str) -> bool:
+        """Does this repository serve ``uri``? (Federation dispatch.)"""
+        return not uri.startswith("remote://")

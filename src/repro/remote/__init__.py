@@ -1,0 +1,58 @@
+"""Remote repositories over a resilient transport.
+
+The remote subsystem makes ``remote://endpoint/key`` URIs first-class
+sources: a :class:`SimulatedObjectStore` serves objects under a seeded
+network model (latency, jitter, heavy tails, bandwidth, loss), a
+:class:`ResilientTransport` wraps every request in timeouts, a per-query
+retry budget with jittered backoff, hedged backup requests, and a
+per-endpoint circuit breaker, and a :class:`RemoteRepository` maps the
+engine's selective-mount byte spans onto coalesced **ranged GETs** staged
+into sparse local files. :class:`FederatedRepository` lets one query span
+local and remote sources with per-endpoint failure isolation.
+"""
+
+from .federation import FederatedRepository
+from .netmodel import NetworkModel, NetworkProfile, interruptible_wait
+from .repository import (
+    RemoteExtractor,
+    RemoteRepository,
+    RemoteRepositoryStats,
+    coalesce_spans,
+)
+from .simstore import ObjectStat, SimStoreStats, SimulatedObjectStore
+from .transport import (
+    LatencyTracker,
+    ResilientTransport,
+    TransportPolicy,
+    TransportStats,
+)
+from .uris import (
+    REMOTE_SCHEME,
+    endpoint_of,
+    is_remote_uri,
+    parse_remote_uri,
+    remote_uri,
+)
+
+__all__ = [
+    "FederatedRepository",
+    "LatencyTracker",
+    "NetworkModel",
+    "NetworkProfile",
+    "ObjectStat",
+    "REMOTE_SCHEME",
+    "RemoteExtractor",
+    "RemoteRepository",
+    "RemoteRepositoryStats",
+    "ResilientTransport",
+    "SimStoreStats",
+    "SimulatedObjectStore",
+    "TransportPolicy",
+    "TransportStats",
+    "coalesce_spans",
+    "endpoint_of",
+    "interruptible_wait",
+    "is_remote_uri",
+    "parse_remote_uri",
+    "remote_uri",
+]

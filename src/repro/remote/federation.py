@@ -1,0 +1,124 @@
+"""Federating local and remote repositories behind one repository facade.
+
+A :class:`FederatedRepository` is the paper's "repository of repositories":
+one query addresses files living in a local xSEED tree *and* in any number
+of remote endpoints, and the engine below never notices — every repository
+protocol hook dispatches on URI ownership (``owns_uri``) to the member that
+serves it.
+
+Failure isolation is the point: each remote member carries its own
+transport (retry budget, circuit breaker, hedging), so a dead endpoint
+fails *its* files' mounts with errors naming the endpoint while the other
+members keep answering. Combined with ``on_mount_error="skip"`` the query
+degrades to the surviving sources and the
+:class:`~repro.core.mounting.MountFailureReport` says exactly which
+endpoint dropped out.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+
+from ..db.errors import IngestError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.governor import CancellationToken
+    from ..ingest.formats import FormatExtractor, FormatRegistry
+
+
+class FederatedRepository:
+    """Member repositories presented as one, dispatching by URI ownership.
+
+    Members are consulted in order; the first whose ``owns_uri`` claims a
+    URI serves it. A :class:`~repro.mseed.repository.FileRepository` claims
+    every non-remote URI, so include at most one local member (and order is
+    otherwise irrelevant because remote members claim disjoint endpoints).
+    """
+
+    def __init__(self, members: Sequence[object]) -> None:
+        if not members:
+            raise IngestError("a federation needs at least one member repository")
+        self.members = tuple(members)
+        suffixes: list[str] = []
+        for member in self.members:
+            for suffix in getattr(member, "suffixes", None) or (member.suffix,):
+                if suffix not in suffixes:
+                    suffixes.append(suffix)
+        self.suffixes = tuple(suffixes)
+
+    @property
+    def suffix(self) -> str:
+        return self.suffixes[0]
+
+    def _member_for(self, uri: str) -> object:
+        for member in self.members:
+            owns = getattr(member, "owns_uri", None)
+            if owns is not None and owns(uri):
+                return member
+        raise IngestError(f"no federation member serves URI {uri!r}")
+
+    # -- repository protocol -------------------------------------------------
+
+    def uris(self) -> list[str]:
+        out: list[str] = []
+        for member in self.members:
+            out.extend(member.uris())
+        return out
+
+    def __len__(self) -> int:
+        return len(self.uris())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.uris())
+
+    def owns_uri(self, uri: str) -> bool:
+        return any(
+            getattr(member, "owns_uri", lambda _uri: False)(uri)
+            for member in self.members
+        )
+
+    def path_of(self, uri: str) -> Path:
+        return self._member_for(uri).path_of(uri)
+
+    def signature_of(self, uri: str) -> tuple[int, int]:
+        member = self._member_for(uri)
+        signature_of = getattr(member, "signature_of", None)
+        if signature_of is not None:
+            return signature_of(uri)
+        st = member.path_of(uri).stat()
+        return (st.st_mtime_ns, st.st_size)
+
+    def size_of(self, uri: str) -> int:
+        member = self._member_for(uri)
+        size_of = getattr(member, "size_of", None)
+        if size_of is not None:
+            return size_of(uri)
+        return member.path_of(uri).stat().st_size
+
+    def total_bytes(self) -> int:
+        return sum(member.total_bytes() for member in self.members)
+
+    def extractor_for(
+        self, path: Path, uri: str, registry: "FormatRegistry"
+    ) -> "FormatExtractor":
+        member = self._member_for(uri)
+        extractor_for = getattr(member, "extractor_for", None)
+        if extractor_for is not None:
+            return extractor_for(path, uri, registry)
+        return registry.for_path(path)
+
+    def begin_query(self, token: Optional["CancellationToken"] = None) -> None:
+        for member in self.members:
+            begin_query = getattr(member, "begin_query", None)
+            if begin_query is not None:
+                begin_query(token)
+
+    def close(self) -> None:
+        for member in self.members:
+            close = getattr(member, "close", None)
+            if close is not None:
+                close()
+
+
+__all__ = ["FederatedRepository"]

@@ -1,0 +1,431 @@
+"""The remote repository: ranged GETs staged into local files.
+
+A :class:`RemoteRepository` makes an endpoint's object store look like a
+:class:`~repro.mseed.repository.FileRepository` to the rest of the engine.
+The translation happens through the repository protocol hooks:
+
+``path_of``
+    A remote URI resolves to a *staging* path under the repository's
+    staging directory. The file may not exist yet — the extractor wrapper
+    stages exactly the bytes a mount needs before the inner format
+    extractor reads them.
+``signature_of``
+    Answered by a HEAD: ``(mtime_ns, size)`` of the remote object, so the
+    mount layer's staleness checks observe the *remote* file, not the
+    staging copy.
+``extractor_for``
+    Wraps the registry's per-suffix choice in :class:`RemoteExtractor`,
+    which maps the selective-mount byte map onto **ranged GETs**: wanted
+    record spans are coalesced (gaps smaller than one request's worth of
+    bandwidth are cheaper to read through than to re-negotiate) and fetched
+    into a sparse staging file; the inner extractor then seeks the staging
+    file exactly as it would a local volume. Whole-file paths (metadata
+    extraction, non-addressable byte maps) stage the whole object once and
+    reuse it until the remote signature changes.
+``begin_query``
+    Resets the transport's per-query retry budget and adopts the query's
+    cancellation token.
+
+All requests go through the :class:`~repro.remote.transport.ResilientTransport`
+(timeouts, retry budget, hedging, per-endpoint circuit breaker), so every
+failure surfaces as a typed error naming the endpoint. ``uris()`` keeps the
+last successful listing: an endpoint that dies *between* queries still
+resolves its file set, and the failures then surface per-file at mount
+time — where skip-and-report can degrade gracefully — instead of killing
+metadata resolution outright.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+from .. import _sync
+from ..core.governor import CancellationToken, CircuitBreaker
+from ..db.errors import FileIngestError, IngestError
+from ..ingest.formats import (
+    FormatExtractor,
+    FormatRegistry,
+    MountOutcome,
+    MountRequest,
+    SelectiveFormatExtractor,
+)
+from .simstore import SimulatedObjectStore
+from .transport import ResilientTransport, TransportPolicy
+from .uris import endpoint_of, parse_remote_uri, remote_uri
+
+# Fallback coalescing gap when the profile gives no latency×bandwidth
+# product to derive one from.
+DEFAULT_COALESCE_GAP_BYTES = 64 * 1024
+
+
+def coalesce_spans(
+    spans: Sequence[tuple[int, int]], gap_bytes: int
+) -> list[tuple[int, int]]:
+    """Merge ``(start, end)`` byte ranges whose gaps are <= ``gap_bytes``.
+
+    The ranged-GET planner: each merged range costs one request's latency,
+    so a gap cheaper to stream through than to re-negotiate is absorbed.
+    Input ranges may overlap and arrive in any order.
+    """
+    if not spans:
+        return []
+    ordered = sorted((s, e) for s, e in spans if e > s)
+    if not ordered:
+        return []
+    merged: list[tuple[int, int]] = [ordered[0]]
+    for start, end in ordered[1:]:
+        last_start, last_end = merged[-1]
+        if start - last_end <= gap_bytes:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _subtract_ranges(
+    wanted: list[tuple[int, int]], covered: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """The parts of ``wanted`` not covered by ``covered`` (both merged/sorted)."""
+    missing: list[tuple[int, int]] = []
+    for start, end in wanted:
+        cursor = start
+        for cov_start, cov_end in covered:
+            if cov_end <= cursor or cov_start >= end:
+                continue
+            if cov_start > cursor:
+                missing.append((cursor, cov_start))
+            cursor = max(cursor, cov_end)
+            if cursor >= end:
+                break
+        if cursor < end:
+            missing.append((cursor, end))
+    return missing
+
+
+@dataclass
+class _StagedFile:
+    """What of one object the staging file currently holds, and for which
+    remote version."""
+
+    signature: tuple[int, int]
+    ranges: list[tuple[int, int]] = field(default_factory=list)
+    whole: bool = False
+
+
+@dataclass
+class RemoteRepositoryStats:
+    remote_bytes: int = 0  # bytes actually moved off the endpoint
+    span_fetches: int = 0  # fetch_spans calls that issued >= 1 GET
+    ranged_gets: int = 0  # coalesced ranged GETs issued
+    whole_fetches: int = 0  # whole-object GETs issued
+    staged_reuses: int = 0  # calls fully served from the staging file
+    invalidations: int = 0  # staged state dropped: remote signature changed
+    listing_fallbacks: int = 0  # uris() served from the last-known listing
+
+
+@_sync.guarded
+class RemoteRepository:
+    """One endpoint's objects, presented as a repository of remote URIs."""
+
+    def __init__(
+        self,
+        store: SimulatedObjectStore,
+        staging_dir: str | Path,
+        policy: TransportPolicy = TransportPolicy(),
+        suffix: str | tuple[str, ...] = (".xseed", ".tscsv"),
+        breaker: Optional[CircuitBreaker] = None,
+        coalesce_gap_bytes: Optional[int] = None,
+    ) -> None:
+        self.endpoint = store.endpoint
+        self.transport = ResilientTransport(store, policy, breaker=breaker)
+        self.staging_root = Path(staging_dir)
+        self.staging_root.mkdir(parents=True, exist_ok=True)
+        self.suffixes = (suffix,) if isinstance(suffix, str) else tuple(suffix)
+        if coalesce_gap_bytes is None:
+            profile = store.model.profile
+            if profile.bandwidth_bytes_per_second is not None:
+                # Gaps that stream faster than one request round-trips are
+                # cheaper to read through than to split.
+                coalesce_gap_bytes = max(
+                    1,
+                    int(
+                        profile.latency_seconds
+                        * profile.bandwidth_bytes_per_second
+                    ),
+                )
+            else:
+                coalesce_gap_bytes = DEFAULT_COALESCE_GAP_BYTES
+        self.coalesce_gap_bytes = coalesce_gap_bytes
+        self.stats = RemoteRepositoryStats()  # guarded-by: _lock
+        self._lock = _sync.create_lock("RemoteRepository._lock")
+        self._staged: dict[str, _StagedFile] = {}  # guarded-by: _lock
+        self._key_locks: dict[str, threading.Lock] = {}  # guarded-by: _lock
+        self._last_listing: Optional[list[str]] = None  # guarded-by: _lock
+
+    @property
+    def suffix(self) -> str:
+        return self.suffixes[0]
+
+    # -- repository protocol -------------------------------------------------
+
+    def uris(self) -> list[str]:
+        try:
+            keys = self.transport.list_keys()
+        except FileIngestError:
+            with self._lock:
+                cached = self._last_listing
+                if cached is None:
+                    raise
+                # Stale-but-available: the endpoint is unreachable, but we
+                # know what it held. Per-file mount failures then degrade
+                # per the query's on_mount_error policy instead of the
+                # whole federation losing metadata resolution.
+                self.stats.listing_fallbacks += 1
+                keys = list(cached)
+        else:
+            keys = [
+                key
+                for key in keys
+                if any(key.endswith(suffix) for suffix in self.suffixes)
+            ]
+            with self._lock:
+                self._last_listing = list(keys)
+        return [remote_uri(self.endpoint, key) for key in keys]
+
+    def __len__(self) -> int:
+        return len(self.uris())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.uris())
+
+    def owns_uri(self, uri: str) -> bool:
+        return endpoint_of(uri) == self.endpoint
+
+    def _key(self, uri: str) -> str:
+        try:
+            endpoint, key = parse_remote_uri(uri)
+        except ValueError as exc:
+            raise IngestError(str(exc)) from exc
+        if endpoint != self.endpoint:
+            raise IngestError(
+                f"URI {uri!r} belongs to endpoint {endpoint!r}, "
+                f"not {self.endpoint!r}"
+            )
+        return key
+
+    def path_of(self, uri: str) -> Path:
+        """The URI's staging path (created lazily; may not exist yet)."""
+        path = (self.staging_root / self._key(uri)).resolve()
+        if not path.is_relative_to(self.staging_root.resolve()):
+            raise IngestError(f"URI {uri!r} escapes the staging root")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def signature_of(self, uri: str) -> tuple[int, int]:
+        return self.transport.head(self._key(uri), uri=uri).signature
+
+    def size_of(self, uri: str) -> int:
+        return self.transport.head(self._key(uri), uri=uri).size
+
+    def total_bytes(self) -> int:
+        return sum(self.size_of(uri) for uri in self.uris())
+
+    def extractor_for(
+        self, path: Path, uri: str, registry: FormatRegistry
+    ) -> FormatExtractor:
+        return RemoteExtractor(self, registry.for_path(path))
+
+    def begin_query(self, token: Optional[CancellationToken] = None) -> None:
+        self.transport.begin_query(token)
+
+    def close(self) -> None:
+        self.transport.close()
+
+    # -- staging -------------------------------------------------------------
+
+    def _lock_for(self, key: str) -> threading.Lock:
+        with self._lock:
+            lock = self._key_locks.get(key)
+            if lock is None:
+                lock = _sync.create_lock(f"RemoteRepository.key:{key}")
+                self._key_locks[key] = lock
+            return lock
+
+    def ensure_whole(self, uri: str) -> int:
+        """Stage the whole object; returns remote bytes moved (0 on reuse)."""
+        key = self._key(uri)
+        stat = self.transport.head(key, uri=uri)
+        with self._lock_for(key):
+            with self._lock:
+                entry = self._staged.get(key)
+                if (
+                    entry is not None
+                    and entry.whole
+                    and entry.signature == stat.signature
+                ):
+                    self.stats.staged_reuses += 1
+                    return 0
+            data = self.transport.get(key, 0, None, uri=uri)
+            path = self.path_of(uri)
+            path.write_bytes(data)
+            with self._lock:
+                self._staged[key] = _StagedFile(
+                    signature=stat.signature,
+                    ranges=[(0, len(data))],
+                    whole=True,
+                )
+                self.stats.whole_fetches += 1
+                self.stats.remote_bytes += len(data)
+            return len(data)
+
+    def fetch_spans(
+        self, uri: str, spans: Sequence[tuple[int, int]]
+    ) -> int:
+        """Stage the ``(byte_offset, byte_length)`` spans; returns remote
+        bytes moved (0 when staging already covers them).
+
+        Missing ranges are coalesced under the bandwidth model and fetched
+        as ranged GETs into a size-exact sparse staging file, so the inner
+        extractor's seeks and its truncation checks see the real object
+        size while untouched regions cost nothing.
+        """
+        key = self._key(uri)
+        stat = self.transport.head(key, uri=uri)
+        wanted = coalesce_spans(
+            [
+                (offset, min(offset + length, stat.size))
+                for offset, length in spans
+                if offset < stat.size and length > 0
+            ],
+            gap_bytes=0,
+        )
+        with self._lock_for(key):
+            with self._lock:
+                entry = self._staged.get(key)
+                if entry is not None and entry.signature != stat.signature:
+                    self.stats.invalidations += 1
+                    entry = None
+                if entry is None:
+                    entry = _StagedFile(signature=stat.signature)
+                    self._staged[key] = entry
+                if entry.whole:
+                    self.stats.staged_reuses += 1
+                    return 0
+                covered = list(entry.ranges)
+            # The staging file must exist at the object's exact size even
+            # when nothing (or nothing *new*) needs fetching: byte-map
+            # readers stat it to validate span bounds before seeking.
+            path = self.path_of(uri)
+            if not path.exists() or path.stat().st_size != stat.size:
+                with open(path, "wb") as handle:
+                    handle.truncate(stat.size)
+            missing = _subtract_ranges(wanted, covered)
+            if not missing:
+                with self._lock:
+                    self.stats.staged_reuses += 1
+                return 0
+            fetchable = coalesce_spans(missing, self.coalesce_gap_bytes)
+            total = 0
+            with open(path, "r+b") as handle:
+                for start, end in fetchable:
+                    data = self.transport.get(key, start, end - start, uri=uri)
+                    handle.seek(start)
+                    handle.write(data)
+                    total += len(data)
+            with self._lock:
+                entry.ranges = coalesce_spans(
+                    covered + fetchable, gap_bytes=0
+                )
+                if entry.ranges == [(0, stat.size)]:
+                    entry.whole = True
+                self.stats.span_fetches += 1
+                self.stats.ranged_gets += len(fetchable)
+                self.stats.remote_bytes += total
+            return total
+
+
+class RemoteExtractor:
+    """Wraps a format extractor so its reads hit a staged remote object.
+
+    ``bytes_read`` in the returned outcomes is redefined as *remote bytes
+    moved by this call* — the number the bandwidth model, the governor's
+    byte budget, and the ranged-GET benchmark all care about. A mount fully
+    served from the staging file reports 0, exactly like a page-cache hit.
+    """
+
+    def __init__(self, repository: RemoteRepository, inner: FormatExtractor) -> None:
+        self.repository = repository
+        self.inner = inner
+
+    @property
+    def format_name(self) -> str:
+        return self.inner.format_name
+
+    @property
+    def suffix(self) -> str:
+        return self.inner.suffix
+
+    def extract_metadata(self, path: Path, uri: str):
+        self.repository.ensure_whole(uri)
+        return self.inner.extract_metadata(path, uri)
+
+    def mount(self, path: Path, uri: str):
+        self.repository.ensure_whole(uri)
+        return self.inner.mount(path, uri)
+
+    def mount_selective(
+        self, path: Path, uri: str, request: MountRequest
+    ) -> MountOutcome:
+        inner = self.inner
+        spans = request.records
+        selective_inner = isinstance(inner, SelectiveFormatExtractor)
+        if (
+            not selective_inner
+            or request.selects_all
+            or spans is None
+            or not all(span.addressable for span in spans)
+        ):
+            # No trustworthy byte map (or the request wants everything):
+            # stage the whole object — a header walk over a partially
+            # staged sparse file would parse zeros as corruption.
+            fetched = self.repository.ensure_whole(uri)
+            if selective_inner:
+                outcome = inner.mount_selective(path, uri, request)
+                return MountOutcome(
+                    mounted=outcome.mounted,
+                    bytes_read=fetched,
+                    records_decoded=outcome.records_decoded,
+                    records_skipped=outcome.records_skipped,
+                )
+            mounted = inner.mount(path, uri)
+            return MountOutcome(
+                mounted=mounted,
+                bytes_read=fetched,
+                records_decoded=0,
+                records_skipped=0,
+            )
+        wanted = [
+            (span.byte_offset, span.byte_length)
+            for span in spans
+            if request.wants(span.start_time, span.end_time)
+        ]
+        fetched = self.repository.fetch_spans(uri, wanted)
+        outcome = inner.mount_selective(path, uri, request)
+        return MountOutcome(
+            mounted=outcome.mounted,
+            bytes_read=fetched,
+            records_decoded=outcome.records_decoded,
+            records_skipped=outcome.records_skipped,
+        )
+
+
+__all__ = [
+    "DEFAULT_COALESCE_GAP_BYTES",
+    "RemoteExtractor",
+    "RemoteRepository",
+    "RemoteRepositoryStats",
+    "coalesce_spans",
+]

@@ -1,0 +1,243 @@
+"""A deterministic simulated object store.
+
+One :class:`SimulatedObjectStore` plays the role of a remote endpoint: it
+serves the files under a local directory through an object-store-shaped API
+(``list_keys`` / ``head`` / ``get`` with byte ranges) while charging every
+request against a seeded :class:`~repro.remote.netmodel.NetworkModel` —
+per-request latency (with jitter and an optional heavy tail), per-byte
+bandwidth, and seeded request loss.
+
+Two properties make it the right test double for the transport layer:
+
+* **Determinism** — latency/loss draws are pure functions of
+  ``(seed, request-key, access-index)``, so a chaos run replays.
+* **Fault-harness composition** — object payloads are read through
+  :func:`repro.mseed.iohooks.open_volume` with the object's ``remote://``
+  URI, so a :class:`~repro.testing.faults.FaultPlan` injects its network
+  kinds (connection-refused, mid-stream disconnect, stall) *inside* the
+  store's reads, exactly where a real socket would fail.
+
+The store itself raises raw OS-level errors (``ConnectionRefusedError``,
+``ConnectionResetError``, ``FileNotFoundError``) — the resilient transport
+owns wrapping them into the typed taxonomy.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from .. import _sync
+from ..mseed.iohooks import open_volume
+from .netmodel import (
+    NetworkModel,
+    NetworkProfile,
+    RequestAbandoned,
+    interruptible_wait,
+)
+from .uris import remote_uri
+
+# Payload streaming granularity: bandwidth waits and fault-plan read
+# counters both advance per chunk.
+CHUNK_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class ObjectStat:
+    """What a HEAD answers: identity plus the staleness signature parts."""
+
+    key: str
+    size: int
+    mtime_ns: int
+
+    @property
+    def signature(self) -> tuple[int, int]:
+        """The ``(mtime_ns, size)`` signature, same shape as a local stat."""
+        return (self.mtime_ns, self.size)
+
+
+@dataclass
+class SimStoreStats:
+    requests: int = 0
+    lists: int = 0
+    heads: int = 0
+    gets: int = 0
+    ranged_gets: int = 0  # gets that asked for a proper sub-range
+    bytes_served: int = 0
+    refused: int = 0  # connection refused (endpoint down)
+    lost: int = 0  # requests reset by the loss model
+
+
+@_sync.guarded
+class SimulatedObjectStore:
+    """Objects under ``root`` served as endpoint ``endpoint``.
+
+    ``down`` simulates a hard outage: every request is refused outright
+    (after the connection-setup latency — refusal is not free). Toggle it
+    mid-test to model a flapping endpoint.
+    """
+
+    def __init__(
+        self,
+        endpoint: str,
+        root: str | Path,
+        profile: NetworkProfile = NetworkProfile(),
+        seed: int = 0,
+    ) -> None:
+        self.endpoint = endpoint
+        self.root = Path(root)
+        if not self.root.exists():
+            raise FileNotFoundError(f"object store root {self.root} does not exist")
+        self.model = NetworkModel(profile, seed=seed)
+        self.stats = SimStoreStats()  # guarded-by: _lock
+        self._lock = _sync.create_lock("SimulatedObjectStore._lock")
+        self._down = False  # guarded-by: _lock
+
+    # -- outage control ------------------------------------------------------
+
+    @property
+    def down(self) -> bool:
+        with self._lock:
+            return self._down
+
+    def set_down(self, down: bool = True) -> None:
+        with self._lock:
+            self._down = down
+
+    # -- request plumbing ----------------------------------------------------
+
+    def _path_of(self, key: str) -> Path:
+        path = (self.root / key).resolve()
+        if not path.is_relative_to(self.root.resolve()):
+            raise FileNotFoundError(f"key {key!r} escapes the store root")
+        return path
+
+    def _request(
+        self,
+        op_key: str,
+        cancel: Optional[threading.Event],
+        token: Optional[object],
+    ) -> None:
+        """Charge one request's setup: latency, outage refusal, loss.
+
+        Raises :class:`RequestAbandoned` when the per-attempt cancel event
+        fires mid-wait (a hedge race decided elsewhere), the token's typed
+        interruption when the query is cancelled, ``ConnectionRefusedError``
+        on outage, ``ConnectionResetError`` on a modeled loss.
+        """
+        with self._lock:
+            self.stats.requests += 1
+            down = self._down
+        draw = self.model.draw(op_key)
+        if draw.latency_seconds > 0:
+            interrupted = interruptible_wait(
+                draw.latency_seconds, cancel=cancel, token=token
+            )
+            if interrupted == "cancel":
+                raise RequestAbandoned(op_key)
+            if interrupted == "token":
+                raise token.interruption()  # type: ignore[union-attr]
+        if down:
+            with self._lock:
+                self.stats.refused += 1
+            raise ConnectionRefusedError(
+                f"endpoint {self.endpoint!r} refused the connection"
+            )
+        if draw.lost:
+            with self._lock:
+                self.stats.lost += 1
+            raise ConnectionResetError(
+                f"connection to {self.endpoint!r} reset ({op_key})"
+            )
+
+    # -- object API ----------------------------------------------------------
+
+    def list_keys(
+        self,
+        cancel: Optional[threading.Event] = None,
+        token: Optional[object] = None,
+    ) -> list[str]:
+        """Every object key, sorted (one LIST request)."""
+        self._request("LIST", cancel, token)
+        with self._lock:
+            self.stats.lists += 1
+        return sorted(
+            p.relative_to(self.root).as_posix()
+            for p in self.root.rglob("*")
+            if p.is_file()
+        )
+
+    def head(
+        self,
+        key: str,
+        cancel: Optional[threading.Event] = None,
+        token: Optional[object] = None,
+    ) -> ObjectStat:
+        """Size and mtime of one object (one HEAD request)."""
+        self._request(f"HEAD:{key}", cancel, token)
+        with self._lock:
+            self.stats.heads += 1
+        st = self._path_of(key).stat()  # FileNotFoundError when absent
+        return ObjectStat(key=key, size=st.st_size, mtime_ns=st.st_mtime_ns)
+
+    def get(
+        self,
+        key: str,
+        start: int = 0,
+        length: Optional[int] = None,
+        cancel: Optional[threading.Event] = None,
+        token: Optional[object] = None,
+    ) -> bytes:
+        """One (ranged) GET: bytes ``[start, start+length)`` of the object.
+
+        ``length=None`` reads to the end. The payload streams in
+        :data:`CHUNK_BYTES` chunks, each paying the bandwidth model and
+        each passing through the fault-plan hook, so mid-stream disconnects
+        and stalls land mid-payload like they would on a socket.
+        """
+        if start < 0 or (length is not None and length < 0):
+            raise ValueError("start/length must be non-negative")
+        self._request(f"GET:{key}", cancel, token)
+        path = self._path_of(key)
+        size = path.stat().st_size  # FileNotFoundError when absent
+        ranged = start > 0 or (length is not None and start + length < size)
+        with self._lock:
+            self.stats.gets += 1
+            if ranged:
+                self.stats.ranged_gets += 1
+        uri = remote_uri(self.endpoint, key)
+        remaining = (
+            max(0, size - start) if length is None else min(length, max(0, size - start))
+        )
+        chunks: list[bytes] = []
+        with open_volume(path, uri) as handle:
+            handle.seek(start)
+            while remaining > 0:
+                chunk = handle.read(min(CHUNK_BYTES, remaining))
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                remaining -= len(chunk)
+                transfer = self.model.transfer_seconds(len(chunk))
+                if transfer > 0:
+                    interrupted = interruptible_wait(
+                        transfer, cancel=cancel, token=token
+                    )
+                    if interrupted == "cancel":
+                        raise RequestAbandoned(f"GET:{key}")
+                    if interrupted == "token":
+                        raise token.interruption()  # type: ignore[union-attr]
+        data = b"".join(chunks)
+        with self._lock:
+            self.stats.bytes_served += len(data)
+        return data
+
+
+__all__ = [
+    "CHUNK_BYTES",
+    "ObjectStat",
+    "SimStoreStats",
+    "SimulatedObjectStore",
+]

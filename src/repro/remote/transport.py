@@ -1,0 +1,438 @@
+"""The resilient transport: every remote request goes through here.
+
+One :class:`ResilientTransport` fronts one endpoint's object store and
+wraps each request in four layers of protection, outside-in:
+
+1. **Per-endpoint circuit breaker** — the PR 5 :class:`CircuitBreaker`
+   keyed by *endpoint* instead of URI: an endpoint that keeps failing is
+   refused outright (``CircuitOpenError`` carrying the endpoint name) until
+   a half-open probe succeeds. One dead endpoint costs one failure streak,
+   not a retry ladder per file behind it.
+2. **Per-query retry budget** — retries and hedges spend from one
+   :class:`~repro.core.governor.RetryBudget` shared by all of a query's
+   mount workers, so a flapping endpoint degrades the query instead of
+   stretching it without bound.
+3. **Jittered exponential backoff** between attempts, waited on the query's
+   cancellation token.
+4. **Per-request timeout + hedged backup requests** — attempts run on a
+   small worker pool; the caller's wait is sliced against the token, a
+   request that outlives its timeout is abandoned, and once the latency
+   tracker has enough samples a backup request is launched when the primary
+   outlives the configured percentile — first success wins, the loser is
+   cancelled (tail latency without duplicate side effects: requests are
+   read-only).
+
+Raw store errors are wrapped into the typed taxonomy here:
+``FileNotFoundError`` → :class:`RemoteObjectMissingError` (non-transient);
+everything else OS-shaped → :class:`RemoteTransportError` (transient).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from .. import _sync
+from ..core.governor import CancellationToken, CircuitBreaker, RetryBudget
+from ..db.errors import (
+    RemoteObjectMissingError,
+    RemoteTransportError,
+)
+from .netmodel import RequestAbandoned, interruptible_wait
+from .simstore import ObjectStat, SimulatedObjectStore
+
+T = TypeVar("T")
+
+# Caller-side wait slice while attempts run on the pool: bounds how stale a
+# token/timeout/hedge check can be.
+_POLL_SECONDS = 0.005
+
+
+@dataclass(frozen=True)
+class TransportPolicy:
+    """Knobs of the resilience layer (all per-request unless noted).
+
+    ``request_timeout_seconds=None`` and ``hedge_enabled=False`` together
+    select the zero-thread fast path: requests run inline on the calling
+    mount worker — the configuration the ≤2 % fault-free overhead target is
+    measured for.
+    """
+
+    request_timeout_seconds: Optional[float] = None
+    max_attempts: int = 3
+    backoff_seconds: float = 0.005
+    backoff_multiplier: float = 2.0
+    backoff_jitter: float = 0.5
+    retry_budget_attempts: int = 64  # per query, shared across workers
+    hedge_enabled: bool = False
+    hedge_percentile: float = 0.95  # launch backup past this latency…
+    hedge_multiplier: float = 1.5  # …times this factor
+    hedge_min_samples: int = 8  # no hedging before the tracker warms up
+    jitter_seed: int = 0  # backoff jitter stream (deterministic tests)
+
+    def __post_init__(self) -> None:
+        if self.request_timeout_seconds is not None and (
+            self.request_timeout_seconds <= 0
+        ):
+            raise ValueError("request_timeout_seconds must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff_jitter must be >= 0")
+        if self.retry_budget_attempts < 0:
+            raise ValueError("retry_budget_attempts must be >= 0")
+        if not 0.0 < self.hedge_percentile < 1.0:
+            raise ValueError("hedge_percentile must be in (0, 1)")
+        if self.hedge_multiplier < 1.0:
+            raise ValueError("hedge_multiplier must be >= 1")
+        if self.hedge_min_samples < 1:
+            raise ValueError("hedge_min_samples must be >= 1")
+
+    @property
+    def inline(self) -> bool:
+        """True when requests can run on the caller with zero extra threads."""
+        return self.request_timeout_seconds is None and not self.hedge_enabled
+
+
+@_sync.guarded
+class LatencyTracker:
+    """Ring buffer of completed request latencies, for the hedge trigger."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        self._lock = _sync.create_lock("LatencyTracker._lock")
+        self._samples: deque[float] = deque(maxlen=capacity)  # guarded-by: _lock
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def percentile(self, p: float, min_samples: int = 1) -> Optional[float]:
+        """The p-quantile of recent latencies, or None before warm-up."""
+        with self._lock:
+            if len(self._samples) < min_samples:
+                return None
+            ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, max(0, int(p * len(ordered))))
+        return ordered[index]
+
+
+@dataclass
+class TransportStats:
+    requests: int = 0
+    failures: int = 0  # failed attempts (pre-retry)
+    retries: int = 0
+    retries_denied: int = 0  # retry wanted, budget dry
+    timeouts: int = 0
+    hedges: int = 0  # backup requests launched
+    hedge_wins: int = 0  # races the backup won
+    hedges_denied: int = 0  # hedge wanted, budget dry
+    breaker_refusals: int = 0
+
+
+class _Race:
+    """First-success-wins outcome box for one request's attempt set."""
+
+    def __init__(self) -> None:
+        self.lock = _sync.create_lock("_Race.lock")
+        self.event = threading.Event()
+        self.pending = 0  # guarded-by: lock
+        self.result: Optional[object] = None  # guarded-by: lock
+        self.won = False  # guarded-by: lock
+        self.winner_hedge = False  # guarded-by: lock
+        self.errors: list[BaseException] = []  # guarded-by: lock
+
+    def offer(self, result: object, is_hedge: bool) -> None:
+        with self.lock:
+            self.pending -= 1
+            if not self.won:
+                self.won = True
+                self.result = result
+                self.winner_hedge = is_hedge
+        self.event.set()
+
+    def offer_error(self, exc: BaseException) -> None:
+        with self.lock:
+            self.pending -= 1
+            if not isinstance(exc, RequestAbandoned):
+                self.errors.append(exc)
+            exhausted = self.pending <= 0 and not self.won
+        if exhausted:
+            self.event.set()
+
+
+class ResilientTransport:
+    """All requests to one endpoint, wrapped in the resilience layers."""
+
+    def __init__(
+        self,
+        store: SimulatedObjectStore,
+        policy: TransportPolicy = TransportPolicy(),
+        breaker: Optional[CircuitBreaker] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.store = store
+        self.policy = policy
+        # Endpoint-keyed breaker. Sharable across transports (a federation
+        # passes one) — the key space is endpoints, so transports don't
+        # collide.
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(failure_threshold=3, cooldown_seconds=0.25)
+        )
+        self.retry_budget = RetryBudget(policy.retry_budget_attempts)
+        self.latencies = LatencyTracker()
+        self.stats = TransportStats()  # guarded-by: _lock
+        self._clock = clock
+        self._lock = _sync.create_lock("ResilientTransport._lock")
+        self._rng = random.Random(policy.jitter_seed)  # guarded-by: _lock
+        # unguarded-ok: written once per query by begin_query before mount
+        # workers start, read-only while they run.
+        self._token: Optional[CancellationToken] = None
+        self._executor: Optional[ThreadPoolExecutor] = None  # guarded-by: _lock
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin_query(self, token: Optional[CancellationToken] = None) -> None:
+        """Adopt the query's token and refill the per-query retry budget."""
+        self._token = token
+        self.retry_budget.reset()
+
+    def close(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=16,
+                    thread_name_prefix=f"transport-{self.store.endpoint}",
+                )
+            return self._executor
+
+    # -- public request API --------------------------------------------------
+
+    def list_keys(self) -> list[str]:
+        return self._call(
+            "LIST",
+            None,
+            lambda cancel: self.store.list_keys(cancel=cancel, token=self._token),
+        )
+
+    def head(self, key: str, uri: Optional[str] = None) -> ObjectStat:
+        return self._call(
+            f"HEAD:{key}",
+            uri,
+            lambda cancel: self.store.head(key, cancel=cancel, token=self._token),
+        )
+
+    def get(
+        self,
+        key: str,
+        start: int = 0,
+        length: Optional[int] = None,
+        uri: Optional[str] = None,
+    ) -> bytes:
+        return self._call(
+            f"GET:{key}",
+            uri,
+            lambda cancel: self.store.get(
+                key, start, length, cancel=cancel, token=self._token
+            ),
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _call(
+        self,
+        op: str,
+        uri: Optional[str],
+        fn: Callable[[Optional[threading.Event]], T],
+    ) -> T:
+        endpoint = self.store.endpoint
+        policy = self.policy
+        if not self.breaker.allow(endpoint):
+            with self._lock:
+                self.stats.breaker_refusals += 1
+            raise self.breaker.refusal(uri or op, endpoint=endpoint)
+        with self._lock:
+            self.stats.requests += 1
+        attempt = 0
+        while True:
+            try:
+                result = self._attempt(op, uri, fn)
+            except FileNotFoundError as exc:
+                # The endpoint *answered* — this is a repository fact, not
+                # a transport failure; it neither trips the breaker nor
+                # earns a retry.
+                self.breaker.record_success(endpoint)
+                raise RemoteObjectMissingError(
+                    f"{op}: object does not exist on {endpoint!r}",
+                    uri=uri,
+                    endpoint=endpoint,
+                    cause=exc,
+                ) from exc
+            except RemoteTransportError as exc:
+                failure: RemoteTransportError = exc
+            except OSError as exc:
+                failure = RemoteTransportError(
+                    f"{op} failed: {exc}",
+                    uri=uri,
+                    endpoint=endpoint,
+                    cause=exc,
+                )
+            else:
+                self.breaker.record_success(endpoint)
+                return result
+            self.breaker.record_failure(endpoint, failure)
+            with self._lock:
+                self.stats.failures += 1
+            attempt += 1
+            if not failure.transient or attempt >= policy.max_attempts:
+                raise failure
+            if not self.retry_budget.try_spend():
+                with self._lock:
+                    self.stats.retries_denied += 1
+                raise failure
+            if not self.breaker.allow(endpoint):
+                # This failure streak just opened the circuit — stop here
+                # rather than probing it from inside one request's ladder.
+                with self._lock:
+                    self.stats.breaker_refusals += 1
+                raise self.breaker.refusal(uri or op, endpoint=endpoint)
+            backoff = policy.backoff_seconds * (
+                policy.backoff_multiplier ** (attempt - 1)
+            )
+            if policy.backoff_jitter > 0:
+                with self._lock:
+                    backoff *= 1.0 + policy.backoff_jitter * self._rng.random()
+            with self._lock:
+                self.stats.retries += 1
+            if backoff > 0:
+                if interruptible_wait(backoff, token=self._token) == "token":
+                    assert self._token is not None
+                    raise self._token.interruption() from failure
+
+    def _attempt(
+        self,
+        op: str,
+        uri: Optional[str],
+        fn: Callable[[Optional[threading.Event]], T],
+    ) -> T:
+        """One logical attempt: inline, or raced with timeout/hedging."""
+        policy = self.policy
+        if policy.inline:
+            started = self._clock()
+            result = fn(None)
+            self.latencies.record(self._clock() - started)
+            return result
+        return self._race(op, uri, fn)
+
+    def _race(
+        self,
+        op: str,
+        uri: Optional[str],
+        fn: Callable[[Optional[threading.Event]], T],
+    ) -> T:
+        policy = self.policy
+        endpoint = self.store.endpoint
+        race = _Race()
+        cancels: list[threading.Event] = []
+        pool = self._pool()
+
+        def launch(is_hedge: bool) -> None:
+            cancel = threading.Event()
+            cancels.append(cancel)
+            with race.lock:
+                race.pending += 1
+
+            def run() -> None:
+                try:
+                    race.offer(fn(cancel), is_hedge)
+                except BaseException as exc:  # noqa: BLE001 — forwarded to caller
+                    race.offer_error(exc)
+
+            pool.submit(run)
+
+        started = self._clock()
+        launch(is_hedge=False)
+        hedge_at: Optional[float] = None
+        if policy.hedge_enabled:
+            baseline = self.latencies.percentile(
+                policy.hedge_percentile, policy.hedge_min_samples
+            )
+            if baseline is not None:
+                hedge_at = started + baseline * policy.hedge_multiplier
+        timeout_at = (
+            None
+            if policy.request_timeout_seconds is None
+            else started + policy.request_timeout_seconds
+        )
+        hedged = False
+        try:
+            while not race.event.wait(_POLL_SECONDS):
+                token = self._token
+                if token is not None and token.fired:
+                    raise token.interruption()  # type: ignore[misc]
+                now = self._clock()
+                if timeout_at is not None and now >= timeout_at:
+                    with self._lock:
+                        self.stats.timeouts += 1
+                    raise RemoteTransportError(
+                        f"{op} timed out after "
+                        f"{policy.request_timeout_seconds}s",
+                        uri=uri,
+                        endpoint=endpoint,
+                    )
+                if hedge_at is not None and not hedged and now >= hedge_at:
+                    hedged = True
+                    if self.retry_budget.try_spend():
+                        with self._lock:
+                            self.stats.hedges += 1
+                        launch(is_hedge=True)
+                    else:
+                        with self._lock:
+                            self.stats.hedges_denied += 1
+        finally:
+            # Winner decided, timeout, or cancellation: every still-running
+            # attempt is told to stop paying modeled latency.
+            for cancel in cancels:
+                cancel.set()
+        with race.lock:
+            won = race.won
+            winner_hedge = race.winner_hedge
+            result = race.result
+            errors = list(race.errors)
+        if won:
+            if winner_hedge:
+                with self._lock:
+                    self.stats.hedge_wins += 1
+            self.latencies.record(self._clock() - started)
+            return result  # type: ignore[return-value]
+        raise errors[0] if errors else RemoteTransportError(
+            f"{op}: all attempts abandoned", uri=uri, endpoint=endpoint
+        )
+
+
+__all__ = [
+    "LatencyTracker",
+    "ResilientTransport",
+    "TransportPolicy",
+    "TransportStats",
+]

@@ -1,0 +1,61 @@
+"""The ``remote://endpoint/key`` URI scheme.
+
+Kept dependency-free on purpose: the mount pool and the shared scheduler
+only need :func:`endpoint_of` to group work per endpoint, and importing the
+whole remote subsystem from ``repro.core`` would create an import cycle
+(``core.mounting`` → ``remote`` → ``core.governor``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+REMOTE_SCHEME = "remote://"
+
+
+def remote_uri(endpoint: str, key: str) -> str:
+    """The URI of object ``key`` served by ``endpoint``."""
+    if not endpoint or "/" in endpoint:
+        raise ValueError(f"endpoint must be a non-empty host name, got {endpoint!r}")
+    return f"{REMOTE_SCHEME}{endpoint}/{key.lstrip('/')}"
+
+
+def is_remote_uri(uri: str) -> bool:
+    return uri.startswith(REMOTE_SCHEME)
+
+
+def parse_remote_uri(uri: str) -> Tuple[str, str]:
+    """``remote://endpoint/key`` → ``(endpoint, key)``.
+
+    Raises ``ValueError`` on anything else — callers on the mount path wrap
+    that into a typed ingest error with the URI attached.
+    """
+    if not is_remote_uri(uri):
+        raise ValueError(f"not a remote URI: {uri!r}")
+    rest = uri[len(REMOTE_SCHEME):]
+    endpoint, sep, key = rest.partition("/")
+    if not endpoint or not sep or not key:
+        raise ValueError(f"malformed remote URI: {uri!r}")
+    return endpoint, key
+
+
+def endpoint_of(uri: str) -> Optional[str]:
+    """The endpoint a URI is served by, or None for local files.
+
+    Never raises: a malformed remote URI groups under its host-ish prefix,
+    which is all the endpoint-aware routing needs.
+    """
+    if not is_remote_uri(uri):
+        return None
+    rest = uri[len(REMOTE_SCHEME):]
+    endpoint = rest.partition("/")[0]
+    return endpoint or None
+
+
+__all__ = [
+    "REMOTE_SCHEME",
+    "endpoint_of",
+    "is_remote_uri",
+    "parse_remote_uri",
+    "remote_uri",
+]

@@ -77,6 +77,7 @@ from ..core.mountpool import (
     merge_requests,
 )
 from ..ingest.formats import MountRequest
+from ..remote.uris import endpoint_of
 
 # Task lifecycle states (see module docstring).
 TASK_PENDING = "pending"
@@ -113,6 +114,13 @@ class SchedulerPolicy:
     aging_seconds: float = 0.25
     starvation_threshold_seconds: float = 2.0
     batch_window_seconds: float = 0.02
+    # Per-endpoint concurrency cap for *worker* picks: at most this many
+    # remote tasks of one endpoint run at once, so a slow or flapping
+    # endpoint cannot absorb the whole worker fleet. None disables the cap;
+    # local files (no endpoint) are never capped, and the consumer steal
+    # path is exempt — work conservation beats politeness when a query is
+    # actually waiting.
+    max_inflight_per_endpoint: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.throughput_bias <= 1.0:
@@ -132,6 +140,14 @@ class SchedulerPolicy:
             raise ValueError(
                 "batch_window_seconds must be >= 0, "
                 f"got {self.batch_window_seconds!r}"
+            )
+        if (
+            self.max_inflight_per_endpoint is not None
+            and self.max_inflight_per_endpoint < 1
+        ):
+            raise ValueError(
+                "max_inflight_per_endpoint must be >= 1, "
+                f"got {self.max_inflight_per_endpoint!r}"
             )
 
 
@@ -162,6 +178,7 @@ class SchedulerStats:
     max_wait_seconds: float = 0.0
     hints_registered: int = 0  # speculative prefetch tasks accepted
     hint_extractions: int = 0  # hint tasks actually extracted by a worker
+    endpoint_deferrals: int = 0  # picks skipped by the per-endpoint cap
 
 
 @dataclass
@@ -474,12 +491,34 @@ class MountScheduler:
         now = self._clock()
         window = self.policy.batch_window_seconds
         mature_before = time.monotonic() - window
+        cap = self.policy.max_inflight_per_endpoint
+        running_per_endpoint: dict[str, int] = {}
+        if cap is not None:
+            for task in self._tasks.values():
+                if task.state == TASK_RUNNING:
+                    endpoint = endpoint_of(task.key[1])
+                    if endpoint is not None:
+                        running_per_endpoint[endpoint] = (
+                            running_per_endpoint.get(endpoint, 0) + 1
+                        )
         best: Optional[_FileTask] = None
         best_rank: tuple[float, float] = (0.0, 0.0)
         best_hint: Optional[_FileTask] = None
         for task in self._tasks.values():
             if task.state != TASK_PENDING:
                 continue
+            if cap is not None:
+                endpoint = endpoint_of(task.key[1])
+                if (
+                    endpoint is not None
+                    and running_per_endpoint.get(endpoint, 0) >= cap
+                ):
+                    # The endpoint already saturates its worker allowance;
+                    # leave the task pending so the fleet serves other
+                    # sources. Consumers stealing their own task bypass
+                    # this pick entirely.
+                    self.stats.endpoint_deferrals += 1
+                    continue
             if not task.waiters:
                 # Waiter-less pending tasks are speculative hints (an
                 # abandoned real task would have been reaped): lowest

@@ -526,10 +526,9 @@ class QueryService:
         """
         if result.bytes_read == 0 and result.io_seconds == 0.0:
             return
-        table_name, uri = key
-        signature = self._shared_mounts._store_signature(uri, table_name)
+        _table_name, uri = key
         self.cache.store(
-            uri, result.batch, result.coverage, signature=signature
+            uri, result.batch, result.coverage, signature=result.signature
         )
 
     # -- shared extraction ---------------------------------------------------

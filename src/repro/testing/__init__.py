@@ -7,11 +7,16 @@ in :mod:`repro.mseed.iohooks`.
 """
 
 from .faults import (
+    CONNECTION_REFUSED,
     FAULT_KINDS,
+    MID_STREAM_DISCONNECT,
+    NETWORK_KINDS,
     READ_LATENCY,
     RECOVERABLE_KINDS,
+    RECOVERABLE_NETWORK_KINDS,
     SHORT_READ,
     STALE_FLIP,
+    STALL,
     TRANSIENT_OSERROR,
     FaultPlan,
     FaultSpec,
@@ -19,13 +24,18 @@ from .faults import (
 )
 
 __all__ = [
+    "CONNECTION_REFUSED",
     "FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "MID_STREAM_DISCONNECT",
+    "NETWORK_KINDS",
     "READ_LATENCY",
     "RECOVERABLE_KINDS",
+    "RECOVERABLE_NETWORK_KINDS",
     "SHORT_READ",
     "STALE_FLIP",
+    "STALL",
     "TRANSIENT_OSERROR",
 ]

@@ -24,6 +24,12 @@ Kinds
     The read succeeds, then the file's mtime is bumped — a mid-extraction
     rewrite. The post-extraction signature check turns it into a transient
     ``StaleFileError``, and the retry re-reads a now-stable file.
+``connection-refused`` / ``mid-stream-disconnect`` / ``stall``
+    Network-shaped kinds for the remote backend: the first two raise
+    ``ConnectionRefusedError`` / ``ConnectionResetError`` (OSError
+    subclasses, hence transient downstream), a stall hangs the read for
+    ``stall_seconds`` before serving — the shape per-request timeouts and
+    hedged backup requests exist to beat.
 
 Determinism
 -----------
@@ -51,13 +57,32 @@ READ_LATENCY = "read-latency"
 SHORT_READ = "short-read"
 STALE_FLIP = "stale-flip"
 
-FAULT_KINDS = (TRANSIENT_OSERROR, READ_LATENCY, SHORT_READ, STALE_FLIP)
+# Network-shaped kinds, for the remote backend (the simulated object store
+# reads its objects through this same hook, so one plan chaoses both tiers):
+CONNECTION_REFUSED = "connection-refused"  # raises ConnectionRefusedError
+MID_STREAM_DISCONNECT = "mid-stream-disconnect"  # raises ConnectionResetError
+STALL = "stall"  # the read hangs `stall_seconds`, then serves
+
+NETWORK_KINDS = (CONNECTION_REFUSED, MID_STREAM_DISCONNECT, STALL)
+
+FAULT_KINDS = (
+    TRANSIENT_OSERROR,
+    READ_LATENCY,
+    SHORT_READ,
+    STALE_FLIP,
+) + NETWORK_KINDS
 
 # The fault kinds the resilience machinery fully absorbs: a run injecting
 # only these must produce byte-identical answers to a fault-free run (the
 # chaos grid's core assertion). Short reads are excluded — they surface as
 # corrupt/truncated files, i.e. as *failures*, not as absorbed noise.
 RECOVERABLE_KINDS = (TRANSIENT_OSERROR, READ_LATENCY, STALE_FLIP)
+
+# Likewise for the network kinds: refusals and resets are OSError subclasses
+# (transient through the extraction guard / transport wrap), stalls are pure
+# latency — the remote chaos grid injects exactly these and asserts
+# byte-identical answers against the fault-free local baseline.
+RECOVERABLE_NETWORK_KINDS = NETWORK_KINDS
 
 # Waits fall back to this never-set event when no interrupt is wired: same
 # timing as a sleep, but the code path stays identical either way.
@@ -81,6 +106,7 @@ class FaultSpec:
     times: int = 1
     delay_seconds: float = 0.01  # read-latency only
     short_by: int = 32  # short-read only: bytes withheld
+    stall_seconds: float = 0.05  # stall only: how long the read hangs
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -91,6 +117,8 @@ class FaultSpec:
             raise ValueError("times must be positive or -1 (forever)")
         if self.short_by < 1:
             raise ValueError("short_by must be >= 1")
+        if self.stall_seconds < 0:
+            raise ValueError("stall_seconds must be >= 0")
 
     def fires_at(self, index: int) -> bool:
         if index < self.at_read:
@@ -134,6 +162,7 @@ class FaultPlan:
         times: int = 1,
         delay_seconds: float = 0.002,
         short_by: int = 32,
+        stall_seconds: float = 0.02,
     ) -> "FaultPlan":
         """A plan derived entirely from ``(seed, sorted(uris))``.
 
@@ -157,6 +186,7 @@ class FaultPlan:
                     times=times,
                     delay_seconds=delay_seconds,
                     short_by=short_by,
+                    stall_seconds=stall_seconds,
                 )
             )
         return cls(specs)
@@ -238,6 +268,21 @@ class _FaultyHandle:
         if spec.kind == SHORT_READ:
             data = self._handle.read(n)
             return data[: max(0, len(data) - spec.short_by)]
+        if spec.kind == CONNECTION_REFUSED:
+            raise ConnectionRefusedError(
+                f"injected connection refused ({self._uri}, read #{index})"
+            )
+        if spec.kind == MID_STREAM_DISCONNECT:
+            raise ConnectionResetError(
+                f"injected mid-stream disconnect "
+                f"({self._uri}, read #{index})"
+            )
+        if spec.kind == STALL:
+            # A hung connection: the read eventually serves, but only after
+            # a wait long enough for timeouts/hedging to beat it. The wait
+            # runs on the plan's interrupt event, so cancellation cuts it.
+            self._plan._wait(spec.stall_seconds)
+            return self._handle.read(n)
         # stale-flip: serve the bytes, then mutate the file's signature so
         # the post-extraction re-stat sees a different (mtime, size).
         data = self._handle.read(n)
@@ -263,13 +308,18 @@ class _FaultyHandle:
 
 
 __all__ = [
+    "CONNECTION_REFUSED",
     "FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "MID_STREAM_DISCONNECT",
+    "NETWORK_KINDS",
     "READ_LATENCY",
     "RECOVERABLE_KINDS",
+    "RECOVERABLE_NETWORK_KINDS",
     "SHORT_READ",
     "STALE_FLIP",
+    "STALL",
     "TRANSIENT_OSERROR",
 ]

@@ -26,6 +26,7 @@ from repro.core.governor import (
     CIRCUIT_HALF_OPEN,
     CIRCUIT_OPEN,
     QueryGovernor,
+    RetryBudget,
 )
 from repro.db import Database
 from repro.db.errors import (
@@ -428,6 +429,174 @@ class TestCircuitBreaker:
         breaker.reset()
         assert breaker.allow("u")
         assert breaker.open_uris() == []
+
+    def test_endpoint_refusal_names_the_endpoint(self):
+        breaker, _ = self._breaker(threshold=1)
+        breaker.record_failure("seis-eu", OSError("link down"))
+        refusal = breaker.refusal(
+            "remote://seis-eu/a.xseed", endpoint="seis-eu"
+        )
+        assert isinstance(refusal, CircuitOpenError)
+        assert refusal.uri == "remote://seis-eu/a.xseed"
+        assert refusal.endpoint == "seis-eu"
+        assert "seis-eu" in str(refusal)
+
+
+class TestBreakerRegistryBounds:
+    """The circuit registry must not grow without bound (satellite: cap +
+    idle expiry). One breaker can outlive millions of distinct URIs."""
+
+    def _breaker(self, **kwargs):
+        clock = _FakeClock()
+        return CircuitBreaker(clock=clock, **kwargs), clock
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(max_circuits=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(idle_expiry_seconds=0)
+
+    def test_idle_circuits_expire(self):
+        breaker, clock = self._breaker(idle_expiry_seconds=100.0)
+        breaker.record_failure("a")
+        breaker.record_failure("b")
+        assert len(breaker) == 2
+        clock.now = 150.0
+        breaker.record_failure("c")  # reap runs on the failure path
+        assert len(breaker) == 1  # a and b idled out, c is fresh
+        assert breaker.evictions == 2
+
+    def test_touch_keeps_a_circuit_alive(self):
+        breaker, clock = self._breaker(idle_expiry_seconds=100.0)
+        breaker.record_failure("a")
+        breaker.record_failure("b")
+        clock.now = 90.0
+        assert breaker.allow("a")  # touches a, not b
+        clock.now = 150.0
+        breaker.record_failure("c")
+        assert len(breaker) == 2  # a survived via the touch, b expired
+
+    def test_capacity_evicts_least_recent_closed_first(self):
+        breaker, clock = self._breaker(
+            max_circuits=3, failure_threshold=2, idle_expiry_seconds=1e9
+        )
+        clock.now = 1.0
+        breaker.record_failure("open-1")
+        breaker.record_failure("open-1")  # tripped: state open
+        clock.now = 2.0
+        breaker.record_failure("closed-old")
+        clock.now = 3.0
+        breaker.record_failure("closed-new")
+        clock.now = 4.0
+        breaker.record_failure("fresh")  # over capacity: evict one
+        assert len(breaker) == 3
+        # The least-recently-touched *closed* circuit goes first; open
+        # circuits (known-bad endpoints) are the last thing to forget.
+        assert breaker.state_of("closed-old") == CIRCUIT_CLOSED  # re-created
+        assert breaker.evictions == 1
+        assert not breaker.allow("open-1")  # the open circuit survived
+
+    def test_just_failed_circuit_never_self_evicts(self):
+        breaker, clock = self._breaker(max_circuits=1, idle_expiry_seconds=1e9)
+        for index in range(5):
+            clock.now = float(index)
+            breaker.record_failure(f"u{index}")
+            assert len(breaker) == 1
+        # The survivor is always the most recent failure.
+        breaker.record_failure("u4")
+        breaker.record_failure("u4")
+        assert not breaker.allow("u4")
+
+
+class TestHalfOpenProbeHammer:
+    """Satellite: under concurrency, a cooled-down circuit admits exactly
+    one probe; every losing thread gets a typed refusal, not a request."""
+
+    def test_exactly_one_probe_under_concurrency(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=30.0, clock=clock
+        )
+        breaker.record_failure("seis-eu", OSError("down"))
+        clock.now = 31.0  # cooled down: next allow() is the probe
+
+        threads = 16
+        barrier = threading.Barrier(threads)
+        admitted = []
+        refused = []
+        lock = threading.Lock()
+
+        def hammer():
+            barrier.wait()
+            if breaker.allow("seis-eu"):
+                with lock:
+                    admitted.append(threading.get_ident())
+            else:
+                refusal = breaker.refusal("seis-eu", endpoint="seis-eu")
+                with lock:
+                    refused.append(refusal)
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+
+        assert len(admitted) == 1, "exactly one probe may pass"
+        assert len(refused) == threads - 1
+        assert all(isinstance(r, CircuitOpenError) for r in refused)
+        assert all(r.endpoint == "seis-eu" for r in refused)
+        assert breaker.state_of("seis-eu") == CIRCUIT_HALF_OPEN
+        # The probe's success closes the circuit for everyone.
+        breaker.record_success("seis-eu")
+        assert breaker.state_of("seis-eu") == CIRCUIT_CLOSED
+        assert breaker.allow("seis-eu")
+
+
+class TestRetryBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(attempts=-1)
+
+    def test_spend_until_dry(self):
+        budget = RetryBudget(attempts=3)
+        assert [budget.try_spend() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+        assert budget.spent() == 3
+        assert budget.remaining() == 0
+
+    def test_reset_refills(self):
+        budget = RetryBudget(attempts=1)
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        budget.reset()
+        assert budget.try_spend()
+
+    def test_multi_unit_spend_is_all_or_nothing(self):
+        budget = RetryBudget(attempts=3)
+        assert budget.try_spend(2)
+        assert not budget.try_spend(2)  # only 1 left
+        assert budget.remaining() == 1
+        assert budget.try_spend(1)
+
+    def test_concurrent_spend_never_oversubscribes(self):
+        budget = RetryBudget(attempts=64)
+        granted = []
+        lock = threading.Lock()
+
+        def spender():
+            while budget.try_spend():
+                with lock:
+                    granted.append(1)
+
+        pool = [threading.Thread(target=spender) for _ in range(8)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert len(granted) == 64
+        assert budget.spent() == 64
 
 
 class TestBreakerIntegration:

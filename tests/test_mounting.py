@@ -10,6 +10,7 @@ from repro.core import (
     SKIP_AND_REPORT,
     CacheGranularity,
     CachePolicy,
+    CancellationToken,
     IngestionCache,
     MountService,
     interval_from_predicate,
@@ -423,6 +424,77 @@ class TestRetry:
         assert batch.num_rows > 0
         assert service.stats.retries == 2
         assert service.stats.retry_deadline_hits == 0
+
+
+class _BackoffRecordingToken(CancellationToken):
+    """A live token whose timed waits are recorded and return instantly."""
+
+    def __init__(self):
+        super().__init__()
+        self.waits = []
+
+    def wait(self, timeout=None):
+        if timeout is not None:
+            self.waits.append(timeout)
+            return False
+        return super().wait(timeout)
+
+
+class TestRetryJitter:
+    """Regression: the retry ladder's jitter is seeded, bounded, and spread.
+
+    A fleet of workers that all failed against the same endpoint at the
+    same instant must not come back at the same instant — jitter stretches
+    each linear backoff by a uniform draw from [1, 1 + retry_jitter].
+    """
+
+    def _ladder(self, tiny_repo, *, jitter, seed, fails=3):
+        import random
+
+        extractor = FlakyExtractor(fail_times=fails)
+        token = _BackoffRecordingToken()
+        service = _flaky_service(
+            tiny_repo,
+            extractor,
+            max_retries=fails,
+            retry_jitter=jitter,
+            cancellation=token,
+        )
+        service.retry_backoff_seconds = 0.01
+        service._retry_rng = random.Random(seed)
+        batch = service.mount_file(tiny_repo.uris()[0], "D", "d", None)
+        assert batch.num_rows > 0
+        return token.waits
+
+    def test_fixed_seed_reproduces_the_exact_jittered_ladder(self, tiny_repo):
+        import random
+
+        waits = self._ladder(tiny_repo, jitter=0.5, seed=42)
+        rng = random.Random(42)
+        expected = [
+            0.01 * (attempt + 1) * (1.0 + 0.5 * rng.random())
+            for attempt in range(3)
+        ]
+        assert waits == pytest.approx(expected)
+
+    def test_jittered_waits_stay_within_the_advertised_band(self, tiny_repo):
+        for seed in (0, 7, 20130610):
+            waits = self._ladder(tiny_repo, jitter=0.5, seed=seed)
+            assert len(waits) == 3
+            for attempt, wait in enumerate(waits):
+                base = 0.01 * (attempt + 1)
+                assert base <= wait <= base * 1.5
+
+    def test_two_seeds_spread_apart_one_seed_replays(self, tiny_repo):
+        first = self._ladder(tiny_repo, jitter=0.5, seed=1)
+        replay = self._ladder(tiny_repo, jitter=0.5, seed=1)
+        other = self._ladder(tiny_repo, jitter=0.5, seed=2)
+        assert first == replay
+        assert first != other  # distinct seeds → distinct comeback times
+
+    def test_zero_jitter_keeps_the_linear_ladder_exact(self, tiny_repo):
+        waits = self._ladder(tiny_repo, jitter=0.0, seed=42)
+        assert waits == pytest.approx([0.01, 0.02, 0.03])
 
 
 class TestSkipAndReport:

@@ -1,0 +1,578 @@
+"""The remote-repository backend and its resilient transport.
+
+Unit-level coverage of every layer the ``remote://`` scheme stacks up:
+URI helpers, the ranged-GET span planner, the deterministic network
+model, the simulated object store, the resilient transport (retries,
+budgets, breakers, timeouts, hedging), the staging repository, and the
+federated dispatcher. End-to-end fault grids live in
+``test_remote_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.governor import (
+    CIRCUIT_CLOSED,
+    CIRCUIT_OPEN,
+    CircuitBreaker,
+)
+from repro.db.errors import (
+    CircuitOpenError,
+    FileIngestError,
+    IngestError,
+    RemoteObjectMissingError,
+    RemoteTransportError,
+)
+from repro.mseed import FileRepository, RepositorySpec, generate_repository
+from repro.remote import (
+    FederatedRepository,
+    NetworkModel,
+    NetworkProfile,
+    RemoteRepository,
+    ResilientTransport,
+    SimulatedObjectStore,
+    TransportPolicy,
+    coalesce_spans,
+    endpoint_of,
+    is_remote_uri,
+    parse_remote_uri,
+    remote_uri,
+)
+
+SPEC = RepositorySpec(
+    stations=("ISK",),
+    channels=("BHE",),
+    days=1,
+    sample_rate=0.02,
+    samples_per_record=100,
+)
+
+
+@pytest.fixture(scope="module")
+def objects_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("remote_objects")
+    generate_repository(root, SPEC)
+    return root
+
+
+def _store(objects_dir, **profile_kwargs):
+    return SimulatedObjectStore(
+        "seis-eu", objects_dir, profile=NetworkProfile(**profile_kwargs)
+    )
+
+
+def _repository(tmp_path, store, **kwargs):
+    return RemoteRepository(store, tmp_path / "staging", **kwargs)
+
+
+class TestRemoteUris:
+    def test_round_trip(self):
+        uri = remote_uri("seis-eu", "2010/day1.xseed")
+        assert uri == "remote://seis-eu/2010/day1.xseed"
+        assert is_remote_uri(uri)
+        assert parse_remote_uri(uri) == ("seis-eu", "2010/day1.xseed")
+        assert endpoint_of(uri) == "seis-eu"
+
+    def test_local_uris_have_no_endpoint(self):
+        assert not is_remote_uri("2010/day1.xseed")
+        assert endpoint_of("2010/day1.xseed") is None
+        assert endpoint_of("/abs/path.xseed") is None
+
+    def test_malformed_uris_rejected(self):
+        with pytest.raises(ValueError):
+            remote_uri("", "key")
+        with pytest.raises(ValueError):
+            remote_uri("host/extra", "key")
+        for bad in ("remote://", "remote://host", "remote://host/", "file.x"):
+            with pytest.raises(ValueError):
+                parse_remote_uri(bad)
+
+    def test_endpoint_of_never_raises(self):
+        # Malformed remote URIs still group under their host-ish prefix.
+        assert endpoint_of("remote://host") == "host"
+        assert endpoint_of("remote://") is None
+
+
+class TestCoalesceSpans:
+    def test_empty_and_degenerate(self):
+        assert coalesce_spans([], 10) == []
+        assert coalesce_spans([(5, 5), (7, 3)], 10) == []
+
+    def test_small_gaps_absorbed_large_gaps_kept(self):
+        spans = [(0, 10), (12, 20), (100, 110)]
+        assert coalesce_spans(spans, 2) == [(0, 20), (100, 110)]
+        assert coalesce_spans(spans, 1) == [(0, 10), (12, 20), (100, 110)]
+        assert coalesce_spans(spans, 80) == [(0, 110)]
+
+    def test_overlaps_and_unordered_input(self):
+        spans = [(50, 60), (0, 30), (20, 40)]
+        assert coalesce_spans(spans, 0) == [(0, 40), (50, 60)]
+
+    def test_contained_span_does_not_shrink_the_union(self):
+        assert coalesce_spans([(0, 100), (10, 20)], 0) == [(0, 100)]
+
+
+class TestNetworkModel:
+    def test_same_seed_same_key_replays_exactly(self):
+        profile = NetworkProfile(
+            latency_seconds=0.001,
+            jitter=0.5,
+            loss_probability=0.3,
+            heavy_tail_probability=0.2,
+        )
+        a = NetworkModel(profile, seed=7)
+        b = NetworkModel(profile, seed=7)
+        # Interleaving per-key draws differently must not change any
+        # key's own sequence — that is what makes chaos runs replayable
+        # under arbitrary thread schedules.
+        seq_a = [a.draw("GET:x") for _ in range(5)] + [a.draw("GET:y")]
+        b.draw("GET:y")
+        seq_b = [b.draw("GET:x") for _ in range(5)]
+        assert [d.latency_seconds for d in seq_a[:5]] == [
+            d.latency_seconds for d in seq_b
+        ]
+        assert [d.lost for d in seq_a[:5]] == [d.lost for d in seq_b]
+
+    def test_distinct_seeds_diverge(self):
+        profile = NetworkProfile(latency_seconds=0.001, jitter=1.0)
+        a = [NetworkModel(profile, seed=1).draw("k") for _ in range(1)]
+        b = [NetworkModel(profile, seed=2).draw("k") for _ in range(1)]
+        assert a[0].latency_seconds != b[0].latency_seconds
+
+    def test_loss_extremes(self):
+        lossy = NetworkModel(NetworkProfile(loss_probability=0.999), seed=0)
+        never = NetworkModel(NetworkProfile(loss_probability=0.0), seed=0)
+        assert sum(lossy.draw("k").lost for _ in range(8)) >= 7
+        assert not any(never.draw("k").lost for _ in range(8))
+        with pytest.raises(ValueError):
+            NetworkProfile(loss_probability=1.0)  # a dead link is set_down()
+
+    def test_transfer_seconds(self):
+        model = NetworkModel(
+            NetworkProfile(bandwidth_bytes_per_second=1000), seed=0
+        )
+        assert model.transfer_seconds(500) == pytest.approx(0.5)
+        unmetered = NetworkModel(NetworkProfile(), seed=0)
+        assert unmetered.transfer_seconds(10**9) == 0.0
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            NetworkProfile(latency_seconds=-1)
+        with pytest.raises(ValueError):
+            NetworkProfile(loss_probability=1.5)
+        with pytest.raises(ValueError):
+            NetworkProfile(bandwidth_bytes_per_second=0)
+
+
+class TestSimulatedObjectStore:
+    def test_list_head_get_mirror_the_directory(self, objects_dir):
+        store = _store(objects_dir)
+        keys = store.list_keys()
+        assert keys == sorted(
+            p.relative_to(objects_dir).as_posix()
+            for p in objects_dir.rglob("*")
+            if p.is_file()
+        )
+        key = keys[0]
+        stat = store.head(key)
+        raw = (objects_dir / key).read_bytes()
+        assert stat.size == len(raw)
+        assert store.get(key) == raw
+        assert store.stats.lists == 1
+        assert store.stats.heads == 1
+        assert store.stats.gets == 1
+
+    def test_ranged_get_returns_the_exact_slice(self, objects_dir):
+        store = _store(objects_dir)
+        key = store.list_keys()[0]
+        raw = (objects_dir / key).read_bytes()
+        assert store.get(key, 10, 50) == raw[10:60]
+        assert store.stats.ranged_gets == 1
+        # Tail reads clamp at end-of-object, like HTTP range semantics.
+        assert store.get(key, len(raw) - 5, 100) == raw[-5:]
+
+    def test_down_endpoint_refuses_every_request(self, objects_dir):
+        store = _store(objects_dir)
+        key = store.list_keys()[0]
+        store.set_down()
+        with pytest.raises(ConnectionRefusedError):
+            store.get(key)
+        with pytest.raises(ConnectionRefusedError):
+            store.head(key)
+        assert store.stats.refused == 2
+        store.set_down(False)
+        assert store.get(key)  # recovered
+
+    def test_missing_object_is_not_found(self, objects_dir):
+        store = _store(objects_dir)
+        with pytest.raises(FileNotFoundError):
+            store.head("no/such.xseed")
+        with pytest.raises(FileNotFoundError):
+            store.get("no/such.xseed")
+
+    def test_modeled_loss_resets_the_connection(self, objects_dir):
+        store = SimulatedObjectStore(
+            "flaky",
+            objects_dir,
+            profile=NetworkProfile(loss_probability=0.999),
+            seed=3,
+        )
+        with pytest.raises(ConnectionResetError):
+            store.list_keys()
+        assert store.stats.lost == 1
+
+
+class _ScriptedStore:
+    """A stub endpoint whose per-key behavior is scripted for transport
+    tests: fail N times, stall until cancelled, or answer instantly."""
+
+    def __init__(self, endpoint="stub-ep", fail_times=0, payload=b"payload"):
+        self.endpoint = endpoint
+        self.payload = payload
+        self.fail_times = fail_times
+        self.calls = 0
+        self.stall_keys = set()
+        self._stalled_once = set()
+        self._lock = threading.Lock()
+
+    def get(self, key, start=0, length=None, cancel=None, token=None):
+        with self._lock:
+            self.calls += 1
+            remaining = self.fail_times
+            if remaining > 0:
+                self.fail_times -= 1
+            stall = key in self.stall_keys and key not in self._stalled_once
+            if stall:
+                self._stalled_once.add(key)
+        if remaining > 0:
+            raise ConnectionResetError("scripted reset")
+        if stall:
+            # Park until the race cancels us (or give up after 2 s so a
+            # broken transport cannot hang the test suite).
+            if cancel is not None:
+                cancel.wait(2.0)
+            else:  # pragma: no cover - inline callers never stall here
+                time.sleep(2.0)
+            raise ConnectionResetError("stalled attempt abandoned")
+        if key == "missing":
+            raise FileNotFoundError(key)
+        return self.payload
+
+    def head(self, key, cancel=None, token=None):
+        raise NotImplementedError
+
+    def list_keys(self, cancel=None, token=None):
+        raise NotImplementedError
+
+
+class TestResilientTransport:
+    def test_transient_failures_retried_to_success(self):
+        store = _ScriptedStore(fail_times=2)
+        transport = ResilientTransport(
+            store, TransportPolicy(max_attempts=3, backoff_seconds=0.0)
+        )
+        assert transport.get("k") == b"payload"
+        assert store.calls == 3
+        assert transport.stats.retries == 2
+        assert transport.stats.failures == 2
+        assert transport.breaker.state_of(store.endpoint) == CIRCUIT_CLOSED
+
+    def test_attempts_exhausted_surface_the_transport_error(self):
+        store = _ScriptedStore(fail_times=100)
+        transport = ResilientTransport(
+            store, TransportPolicy(max_attempts=2, backoff_seconds=0.0)
+        )
+        with pytest.raises(RemoteTransportError) as excinfo:
+            transport.get("k")
+        assert excinfo.value.endpoint == "stub-ep"
+        assert excinfo.value.transient
+        assert store.calls == 2
+
+    def test_missing_object_no_retry_no_breaker_trip(self):
+        store = _ScriptedStore()
+        transport = ResilientTransport(
+            store, TransportPolicy(max_attempts=3, backoff_seconds=0.0)
+        )
+        with pytest.raises(RemoteObjectMissingError) as excinfo:
+            transport.get("missing")
+        assert not excinfo.value.transient  # not worth any retry ladder
+        assert store.calls == 1
+        assert transport.stats.retries == 0
+        assert transport.breaker.state_of(store.endpoint) == CIRCUIT_CLOSED
+
+    def test_breaker_opens_and_refuses_with_the_endpoint_named(self):
+        store = _ScriptedStore(fail_times=10**6)
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_seconds=60.0)
+        transport = ResilientTransport(
+            store,
+            TransportPolicy(max_attempts=1, backoff_seconds=0.0),
+            breaker=breaker,
+        )
+        for _ in range(3):
+            with pytest.raises(RemoteTransportError):
+                transport.get("k")
+        assert breaker.state_of(store.endpoint) == CIRCUIT_OPEN
+        with pytest.raises(CircuitOpenError) as excinfo:
+            transport.get("k")
+        assert excinfo.value.endpoint == "stub-ep"
+        assert transport.stats.breaker_refusals == 1
+        assert store.calls == 3  # the refusal never reached the store
+
+    def test_retry_budget_is_shared_across_requests(self):
+        store = _ScriptedStore(fail_times=10**6)
+        transport = ResilientTransport(
+            store,
+            TransportPolicy(
+                max_attempts=3, backoff_seconds=0.0, retry_budget_attempts=1
+            ),
+            breaker=CircuitBreaker(failure_threshold=100),
+        )
+        with pytest.raises(RemoteTransportError):
+            transport.get("a")  # spends the whole budget on its retry
+        with pytest.raises(RemoteTransportError):
+            transport.get("b")  # gets zero retries
+        assert transport.stats.retries == 1
+        assert transport.stats.retries_denied == 2  # "a"'s 2nd retry + "b"'s
+        assert store.calls == 3  # 2 attempts for "a", 1 for "b"
+
+    def test_begin_query_refills_the_budget(self):
+        store = _ScriptedStore(fail_times=10**6)
+        transport = ResilientTransport(
+            store,
+            TransportPolicy(
+                max_attempts=2, backoff_seconds=0.0, retry_budget_attempts=1
+            ),
+            breaker=CircuitBreaker(failure_threshold=100),
+        )
+        with pytest.raises(RemoteTransportError):
+            transport.get("a")
+        assert transport.retry_budget.remaining() == 0
+        transport.begin_query(None)
+        assert transport.retry_budget.remaining() == 1
+
+    def test_request_timeout_fires_and_counts(self):
+        store = _ScriptedStore()
+        store.stall_keys.add("slow")
+        transport = ResilientTransport(
+            store,
+            TransportPolicy(
+                request_timeout_seconds=0.05,
+                max_attempts=1,
+                backoff_seconds=0.0,
+            ),
+        )
+        started = time.monotonic()
+        with pytest.raises(RemoteTransportError) as excinfo:
+            transport.get("slow")
+        assert time.monotonic() - started < 1.0  # nowhere near the 2 s stall
+        assert "timed out" in str(excinfo.value)
+        assert transport.stats.timeouts == 1
+        transport.close()
+
+    def test_hedged_request_wins_past_the_latency_percentile(self):
+        store = _ScriptedStore()
+        store.stall_keys.add("slow")
+        transport = ResilientTransport(
+            store,
+            TransportPolicy(
+                hedge_enabled=True,
+                hedge_min_samples=4,
+                hedge_multiplier=1.5,
+                max_attempts=1,
+                backoff_seconds=0.0,
+            ),
+        )
+        for _ in range(4):  # warm the tracker with fast requests
+            transport.get("fast")
+        started = time.monotonic()
+        assert transport.get("slow") == b"payload"  # the hedge's answer
+        assert time.monotonic() - started < 1.0
+        assert transport.stats.hedges == 1
+        assert transport.stats.hedge_wins == 1
+        transport.close()
+
+    def test_hedging_spends_the_retry_budget(self):
+        store = _ScriptedStore()
+        store.stall_keys.add("slow")
+        transport = ResilientTransport(
+            store,
+            TransportPolicy(
+                hedge_enabled=True,
+                hedge_min_samples=4,
+                hedge_multiplier=1.5,
+                max_attempts=1,
+                backoff_seconds=0.0,
+                retry_budget_attempts=0,  # nothing left for backups
+            ),
+        )
+        for _ in range(4):
+            transport.get("fast")
+        with pytest.raises(RemoteTransportError):
+            transport.get("slow")  # primary stalls; no budget to hedge
+        assert transport.stats.hedges == 0
+        assert transport.stats.hedges_denied >= 1
+        transport.close()
+
+    def test_inline_policy_is_the_zero_thread_path(self):
+        assert TransportPolicy().inline
+        assert not TransportPolicy(request_timeout_seconds=1.0).inline
+        assert not TransportPolicy(hedge_enabled=True).inline
+
+
+class TestRemoteRepository:
+    def test_uris_are_remote_and_owned(self, objects_dir, tmp_path):
+        repo = _repository(tmp_path, _store(objects_dir))
+        uris = repo.uris()
+        assert uris and all(u.startswith("remote://seis-eu/") for u in uris)
+        assert all(repo.owns_uri(u) for u in uris)
+        assert not repo.owns_uri("2010/local.xseed")
+        assert len(repo) == len(uris)
+
+    def test_ensure_whole_stages_exact_bytes_then_reuses(
+        self, objects_dir, tmp_path
+    ):
+        repo = _repository(tmp_path, _store(objects_dir))
+        uri = repo.uris()[0]
+        key = parse_remote_uri(uri)[1]
+        raw = (objects_dir / key).read_bytes()
+        fetched = repo.ensure_whole(uri)
+        assert fetched == len(raw)
+        assert repo.path_of(uri).read_bytes() == raw
+        assert repo.ensure_whole(uri) == 0  # signature matched: no traffic
+        assert repo.stats.staged_reuses == 1
+        assert repo.stats.whole_fetches == 1
+        assert repo.stats.remote_bytes == len(raw)
+
+    def test_fetch_spans_moves_only_missing_coalesced_bytes(
+        self, objects_dir, tmp_path
+    ):
+        repo = _repository(
+            tmp_path, _store(objects_dir), coalesce_gap_bytes=8
+        )
+        uri = repo.uris()[0]
+        key = parse_remote_uri(uri)[1]
+        raw = (objects_dir / key).read_bytes()
+        # Spans are (byte_offset, byte_length), like RecordSpan.
+        fetched = repo.fetch_spans(uri, [(0, 64), (128, 128)])
+        assert fetched == 64 + 128
+        assert repo.stats.ranged_gets == 2  # 64-byte gap > coalesce gap
+        staged = repo.path_of(uri)
+        assert staged.stat().st_size == len(raw)  # size-exact sparse file
+        data = staged.read_bytes()
+        assert data[0:64] == raw[0:64]
+        assert data[128:256] == raw[128:256]
+        # Overlapping re-request only moves the genuinely missing bytes:
+        # [64, 128) and [256, 300) of the wanted [32, 300).
+        assert repo.fetch_spans(uri, [(32, 268)]) == 64 + 44
+        assert repo.path_of(uri).read_bytes()[0:300] == raw[0:300]
+        assert repo.fetch_spans(uri, [(0, 300)]) == 0  # fully covered now
+        assert repo.stats.staged_reuses == 1
+
+    def test_adjacent_spans_coalesce_into_one_get(self, objects_dir, tmp_path):
+        repo = _repository(
+            tmp_path, _store(objects_dir), coalesce_gap_bytes=64
+        )
+        uri = repo.uris()[0]
+        assert repo.fetch_spans(uri, [(0, 32), (48, 48)]) == 96
+        assert repo.stats.ranged_gets == 1  # 16-byte gap read through
+
+    def test_remote_rewrite_invalidates_staged_state(
+        self, objects_dir, tmp_path
+    ):
+        work = tmp_path / "mutable_objects"
+        work.mkdir()
+        (work / "a.xseed").write_bytes(b"A" * 256)
+        repo = _repository(
+            tmp_path, SimulatedObjectStore("seis-eu", work)
+        )
+        uri = repo.uris()[0]
+        assert repo.ensure_whole(uri) == 256
+        (work / "a.xseed").write_bytes(b"B" * 300)
+        assert repo.ensure_whole(uri) == 300  # stale staging dropped
+        assert repo.path_of(uri).read_bytes() == b"B" * 300
+        # Ranged staging tracks the rewrite too: staged ranges for the
+        # old version must not satisfy reads against the new one.
+        (work / "a.xseed").write_bytes(b"C" * 300)
+        assert repo.fetch_spans(uri, [(0, 10)]) == 10
+        assert repo.stats.invalidations == 1
+        assert repo.path_of(uri).read_bytes()[0:10] == b"C" * 10
+
+    def test_signature_of_reflects_the_remote_object(
+        self, objects_dir, tmp_path
+    ):
+        repo = _repository(tmp_path, _store(objects_dir))
+        uri = repo.uris()[0]
+        key = parse_remote_uri(uri)[1]
+        st = (objects_dir / key).stat()
+        assert repo.signature_of(uri) == (st.st_mtime_ns, st.st_size)
+        assert repo.size_of(uri) == st.st_size
+
+    def test_listing_fallback_when_the_endpoint_drops(
+        self, objects_dir, tmp_path
+    ):
+        store = _store(objects_dir)
+        repo = _repository(tmp_path, store)
+        live = repo.uris()
+        store.set_down()
+        assert repo.uris() == live  # stale-but-available beats an error
+        assert repo.stats.listing_fallbacks >= 1
+
+    def test_cold_listing_with_endpoint_down_still_fails(
+        self, objects_dir, tmp_path
+    ):
+        store = _store(objects_dir)
+        store.set_down()
+        repo = _repository(tmp_path, store)
+        with pytest.raises(FileIngestError):
+            repo.uris()  # no last-known listing to fall back on
+
+
+class TestFederatedRepository:
+    @pytest.fixture()
+    def members(self, objects_dir, tmp_path):
+        local_root = tmp_path / "local"
+        local_root.mkdir()
+        (local_root / "station.tscsv").write_text(
+            "sample_time,sample_value\n2010-01-10T00:00:00.000,1.0\n"
+        )
+        local = FileRepository(local_root, suffix=(".tscsv",))
+        remote = _repository(tmp_path, _store(objects_dir))
+        return local, remote
+
+    def test_uris_union_in_member_order(self, members):
+        local, remote = members
+        fed = FederatedRepository([local, remote])
+        assert fed.uris() == local.uris() + remote.uris()
+        assert len(fed) == len(local) + len(remote)
+
+    def test_dispatch_by_ownership(self, members, objects_dir):
+        local, remote = members
+        fed = FederatedRepository([local, remote])
+        local_uri = local.uris()[0]
+        remote_uri_ = remote.uris()[0]
+        assert fed.path_of(local_uri) == local.path_of(local_uri)
+        assert fed.path_of(remote_uri_) == remote.path_of(remote_uri_)
+        assert fed.signature_of(remote_uri_) == remote.signature_of(
+            remote_uri_
+        )
+        with pytest.raises(IngestError):
+            fed.path_of("remote://unknown-endpoint/x.xseed")
+
+    def test_total_bytes_sums_members(self, members):
+        local, remote = members
+        fed = FederatedRepository([local, remote])
+        assert fed.total_bytes() == local.total_bytes() + remote.total_bytes()
+
+    def test_suffixes_are_the_ordered_union(self, members):
+        local, remote = members
+        fed = FederatedRepository([local, remote])
+        assert fed.suffixes[0] == ".tscsv"
+        assert set(remote.suffixes) <= set(fed.suffixes)
+
+    def test_empty_federation_rejected(self):
+        with pytest.raises(IngestError):
+            FederatedRepository([])
